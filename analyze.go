@@ -1,0 +1,49 @@
+package gpssn
+
+import (
+	"gpssn/internal/core"
+	"gpssn/internal/socialnet"
+)
+
+// Analysis summarizes the structural properties of a network that the
+// GP-SSN pruning rules depend on. Produce one with Network.Analyze.
+type Analysis struct {
+	// MaxDegree is the largest friendship degree.
+	MaxDegree int
+	// DegreeHistogram[d] counts users with degree d.
+	DegreeHistogram []int
+	// Clustering is the mean local clustering coefficient.
+	Clustering float64
+	// LargestComponent is the fraction of users in the largest connected
+	// component.
+	LargestComponent float64
+	// Homophily is the mean interest score over friend pairs minus the
+	// mean over random stranger pairs; positive values mean the
+	// interest-region pruning has power.
+	Homophily float64
+	// MeanHops estimates the mean hop distance between reachable users
+	// (sampled from a few BFS sources).
+	MeanHops float64
+}
+
+// Analyze computes the structural summary of the network. It runs a few
+// BFS traversals; on paper-scale networks it takes a moment.
+func (n *Network) Analyze() Analysis {
+	g := n.ds.Social
+	sim := func(a, b socialnet.UserID) float64 {
+		return core.InterestScore(n.ds.Users[a].Interests, n.ds.Users[b].Interests)
+	}
+	var sources []socialnet.UserID
+	step := g.NumUsers()/4 + 1
+	for u := 0; u < g.NumUsers(); u += step {
+		sources = append(sources, socialnet.UserID(u))
+	}
+	return Analysis{
+		MaxDegree:        g.MaxDegree(),
+		DegreeHistogram:  g.DegreeHistogram(),
+		Clustering:       g.ClusteringCoefficient(),
+		LargestComponent: g.LargestComponentFraction(),
+		Homophily:        g.Homophily(sim),
+		MeanHops:         g.MeanHopDistance(sources),
+	}
+}

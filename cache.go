@@ -1,0 +1,106 @@
+package gpssn
+
+import (
+	"container/list"
+	"sync"
+)
+
+// answerCache is a small LRU cache of query answers, invalidated wholesale
+// by any dynamic update (updates can change any answer). Only successful
+// and "no answer" outcomes are cached; errors are not.
+type answerCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are cacheKey
+	items map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	user int
+	q    Query
+	k    int
+}
+
+type cacheEntry struct {
+	elem    *list.Element
+	answers []Answer
+	stats   Stats
+	found   bool
+}
+
+func newAnswerCache(capacity int) *answerCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &answerCache{
+		cap:   capacity,
+		order: list.New(),
+		items: map[cacheKey]*cacheEntry{},
+	}
+}
+
+func (c *answerCache) get(key cacheKey) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e, true
+}
+
+func (c *answerCache) put(key cacheKey, answers []Answer, stats Stats, found bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.answers, e.stats, e.found = answers, stats, found
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{answers: answers, stats: stats, found: found}
+	e.elem = c.order.PushFront(key)
+	c.items[key] = e
+	if c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(cacheKey))
+	}
+}
+
+func (c *answerCache) invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = map[cacheKey]*cacheEntry{}
+}
+
+// cloneAnswer deep-copies an answer so cache contents never alias
+// caller-visible slices.
+func cloneAnswer(a Answer) Answer {
+	return Answer{
+		Users:       append([]int(nil), a.Users...),
+		POIs:        append([]int(nil), a.POIs...),
+		Anchor:      a.Anchor,
+		MaxDistance: a.MaxDistance,
+	}
+}
+
+// len reports the number of cached entries (tests).
+func (c *answerCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,95 @@
+package gpssn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAnswerCacheHitsAndInvalidation(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{
+		RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2, CacheSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5}
+	a1, _, err := db.Query(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", db.cache.len())
+	}
+	a2, _, err := db.Query(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.MaxDistance != a2.MaxDistance || a1.Anchor != a2.Anchor {
+		t.Error("cached answer differs")
+	}
+	// Mutating the returned answer must not corrupt the cache.
+	a2.Users[0] = 99
+	a3, _, _ := db.Query(0, q)
+	if a3.Users[0] == 99 {
+		t.Error("cache returned aliased answer")
+	}
+
+	// "No answer" outcomes are cached too.
+	hard := Query{GroupSize: 5, Gamma: 5, Theta: 0.5, Radius: 1}
+	if _, _, err := db.Query(0, hard); !errors.Is(err, ErrNoAnswer) {
+		t.Fatal("expected no answer")
+	}
+	if _, _, err := db.Query(0, hard); !errors.Is(err, ErrNoAnswer) {
+		t.Fatal("cached no-answer must repeat")
+	}
+	if db.cache.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", db.cache.len())
+	}
+
+	// A dynamic update invalidates everything.
+	if _, err := db.AddPOI(1.0, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 0 {
+		t.Errorf("cache should be empty after update, len = %d", db.cache.len())
+	}
+	// And the post-update answer may legitimately differ.
+	if _, _, err := db.Query(0, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnswerCacheLRUEviction(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{
+		RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2, CacheSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.1, Theta: 0.1, Radius: 1.5}
+	for _, u := range []int{0, 1, 2} {
+		if _, _, err := db.Query(u, q); err != nil && !errors.Is(err, ErrNoAnswer) {
+			t.Fatal(err)
+		}
+	}
+	if db.cache.len() != 2 {
+		t.Errorf("cache len = %d, want 2 (LRU cap)", db.cache.len())
+	}
+}
+
+func TestAnswerCacheDisabledByDefault(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.cache != nil {
+		t.Error("cache should be nil when CacheSize is 0")
+	}
+	q := Query{GroupSize: 2, Gamma: 0.1, Theta: 0.1, Radius: 1.5}
+	if _, _, err := db.Query(0, q); err != nil && !errors.Is(err, ErrNoAnswer) {
+		t.Fatal(err)
+	}
+}

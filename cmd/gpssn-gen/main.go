@@ -1,0 +1,77 @@
+// Command gpssn-gen generates spatial-social network datasets in the
+// library's binary format.
+//
+// Usage:
+//
+//	gpssn-gen -kind uni  -out uni.gpssn -vertices 30000 -users 30000 -pois 10000
+//	gpssn-gen -kind zipf -out zipf.gpssn -seed 7
+//	gpssn-gen -kind brical -scale 0.25 -out brical.gpssn
+//	gpssn-gen -kind gowcol -out gowcol.gpssn
+//
+// Kinds uni/zipf generate the paper's synthetic datasets (Section 6.1);
+// brical/gowcol generate the real-like Brightkite+California and
+// Gowalla+Colorado stand-ins with Table 2 statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpssn"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "uni", "dataset kind: uni, zipf, brical, gowcol")
+		out      = flag.String("out", "", "output file (required)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		vertices = flag.Int("vertices", 0, "road vertices (synthetic; 0 = paper default 30000)")
+		users    = flag.Int("users", 0, "social users (synthetic; 0 = paper default 30000)")
+		pois     = flag.Int("pois", 0, "POIs (synthetic; 0 = paper default 10000)")
+		topics   = flag.Int("topics", 0, "vocabulary size (0 = default)")
+		scale    = flag.Float64("scale", 1, "size multiplier for real-like datasets")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gpssn-gen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		net *gpssn.Network
+		err error
+	)
+	switch *kind {
+	case "uni", "zipf":
+		net, err = gpssn.GenerateSynthetic(gpssn.SyntheticOptions{
+			Seed: *seed, RoadVertices: *vertices, Users: *users,
+			POIs: *pois, Topics: *topics, Zipf: *kind == "zipf",
+		})
+	case "brical":
+		net, err = gpssn.GenerateRealLike(gpssn.BrightkiteCalifornia, *seed, *scale)
+	case "gowcol":
+		net, err = gpssn.GenerateRealLike(gpssn.GowallaColorado, *seed, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "gpssn-gen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-gen:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-gen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := net.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-gen:", err)
+		os.Exit(1)
+	}
+	fmt.Println(net.Stats())
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,96 @@
+// Command gpssn-query answers GP-SSN queries over a dataset file produced
+// by gpssn-gen.
+//
+// Usage:
+//
+//	gpssn-query -data uni.gpssn -user 42 -tau 5 -gamma 0.5 -theta 0.5 -r 2
+//	gpssn-query -data uni.gpssn -user 42 -k 3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpssn"
+)
+
+func main() {
+	var (
+		data  = flag.String("data", "", "dataset file from gpssn-gen (required)")
+		user  = flag.Int("user", 0, "query issuer user id")
+		tau   = flag.Int("tau", 5, "group size including the issuer")
+		gamma = flag.Float64("gamma", 0.5, "pairwise interest threshold")
+		theta = flag.Float64("theta", 0.5, "user-POI matching threshold")
+		r     = flag.Float64("r", 2, "POI ball radius")
+		k     = flag.Int("k", 1, "number of answers (distinct anchors)")
+		trace = flag.Bool("trace", false, "log the query's pruning phases to stderr")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "gpssn-query: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+		os.Exit(1)
+	}
+	net, err := gpssn.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+		os.Exit(1)
+	}
+	fmt.Println(net.Stats())
+
+	db, err := gpssn.Open(net, gpssn.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("indexes built in %s\n", db.BuildTime)
+	if *trace {
+		db.Engine().Opts.Trace = os.Stderr
+	}
+
+	q := gpssn.Query{GroupSize: *tau, Gamma: *gamma, Theta: *theta, Radius: *r}
+	if *k <= 1 {
+		ans, stats, err := db.Query(*user, q)
+		if err != nil {
+			if errors.Is(err, gpssn.ErrNoAnswer) {
+				fmt.Printf("no feasible answer (CPU %s, %d I/Os)\n", stats.CPUTime, stats.PageReads)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+			os.Exit(1)
+		}
+		printAnswer(*ans)
+		fmt.Printf("CPU %s, %d page reads, %d candidate users, %d candidate anchors\n",
+			stats.CPUTime, stats.PageReads, stats.CandidateUsers, stats.CandidateAnchors)
+		return
+	}
+	answers, stats, err := db.QueryTopK(*user, q, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+		os.Exit(1)
+	}
+	if len(answers) == 0 {
+		fmt.Println("no feasible answer")
+		return
+	}
+	for i, ans := range answers {
+		fmt.Printf("--- answer %d ---\n", i+1)
+		printAnswer(ans)
+	}
+	fmt.Printf("CPU %s, %d page reads\n", stats.CPUTime, stats.PageReads)
+}
+
+func printAnswer(ans gpssn.Answer) {
+	fmt.Printf("group S: %v\n", ans.Users)
+	fmt.Printf("POI set R (anchor %d): %v\n", ans.Anchor, ans.POIs)
+	fmt.Printf("max road distance: %.4f\n", ans.MaxDistance)
+}

@@ -1,0 +1,50 @@
+// Command gpssn-stats analyses a dataset file: the Table 2 statistics plus
+// the structural properties the GP-SSN pruning rules depend on (degree
+// distribution, clustering, interest homophily, component structure).
+//
+// Usage:
+//
+//	gpssn-stats -data uni.gpssn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpssn"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset file from gpssn-gen (required)")
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "gpssn-stats: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-stats:", err)
+		os.Exit(1)
+	}
+	net, err := gpssn.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpssn-stats:", err)
+		os.Exit(1)
+	}
+	fmt.Println(net.Stats())
+	a := net.Analyze()
+	fmt.Printf("social: max degree %d, clustering %.3f, largest component %.1f%%\n",
+		a.MaxDegree, a.Clustering, 100*a.LargestComponent)
+	fmt.Printf("interest homophily (friend sim - stranger sim): %+.3f\n", a.Homophily)
+	fmt.Printf("mean hop distance (sampled): %.2f\n", a.MeanHops)
+	fmt.Printf("degree histogram (deg: users):")
+	for d, c := range a.DegreeHistogram {
+		if c > 0 && d <= 20 {
+			fmt.Printf(" %d:%d", d, c)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,86 @@
+package gpssn
+
+import (
+	"fmt"
+
+	"gpssn/internal/geo"
+	"gpssn/internal/model"
+	"gpssn/internal/socialnet"
+)
+
+// Dynamic updates. A DB accepts new POIs, users, and friendships after
+// Open: additions live in a small delta that queries scan exactly (the
+// main+delta design), so answers stay optimal at slightly higher cost.
+// Compact rebuilds the indexes to absorb the delta and restore full
+// pruning power.
+
+// AddPOI adds a POI at (x, y) — snapped onto the nearest road segment —
+// with the given keywords, and returns its id. The POI is queryable
+// immediately.
+func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
+	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
+	if !ok {
+		return 0, fmt.Errorf("gpssn: no road to snap the POI onto")
+	}
+	id := len(db.net.ds.POIs)
+	p := model.POI{
+		ID:       model.POIID(id),
+		At:       at,
+		Loc:      db.net.ds.Road.Location(at),
+		Keywords: append([]int(nil), keywords...),
+	}
+	if err := db.engine.AddPOI(p); err != nil {
+		return 0, err
+	}
+	db.cache.invalidate()
+	return id, nil
+}
+
+// AddUser adds a user with a home at (x, y) and the given interest vector,
+// returning the new id. Add friendships with AddFriendship to make the
+// user eligible for groups of size > 1.
+func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
+	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
+	if !ok {
+		return 0, fmt.Errorf("gpssn: no road to snap the user onto")
+	}
+	id := len(db.net.ds.Users)
+	u := model.User{
+		ID:        socialnet.UserID(id),
+		At:        at,
+		Loc:       db.net.ds.Road.Location(at),
+		Interests: append([]float64(nil), interests...),
+	}
+	if err := db.engine.AddUser(u); err != nil {
+		return 0, err
+	}
+	db.cache.invalidate()
+	return id, nil
+}
+
+// AddFriendship records a friendship between two users (existing or newly
+// added).
+func (db *DB) AddFriendship(a, b int) error {
+	if err := db.engine.AddFriendship(socialnet.UserID(a), socialnet.UserID(b)); err != nil {
+		return err
+	}
+	db.cache.invalidate()
+	return nil
+}
+
+// PendingUpdates returns how many dynamic updates await compaction.
+func (db *DB) PendingUpdates() int { return db.engine.PendingUpdates() }
+
+// Compact rebuilds the indexes over the grown dataset, absorbing all
+// dynamic updates and restoring full pruning power. Queries issued during
+// Compact are serialized around it.
+func (db *DB) Compact() error {
+	fresh, err := Open(db.net, db.cfg)
+	if err != nil {
+		return fmt.Errorf("gpssn: compaction failed: %w", err)
+	}
+	db.engine = fresh.engine
+	db.BuildTime = fresh.BuildTime
+	db.cache.invalidate()
+	return nil
+}

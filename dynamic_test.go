@@ -1,0 +1,120 @@
+package gpssn
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDynamicFacadeLifecycle(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.PendingUpdates() != 0 {
+		t.Fatal("fresh DB should have no pending updates")
+	}
+
+	// A new cafe and a new cafe-loving friend of user 0.
+	poi, err := db.AddPOI(1.0, 0.5, 2)
+	if err != nil {
+		t.Fatalf("AddPOI: %v", err)
+	}
+	user, err := db.AddUser(0.9, 0.4, []float64{0.8, 0.1, 0.9})
+	if err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+	if err := db.AddFriendship(0, user); err != nil {
+		t.Fatalf("AddFriendship: %v", err)
+	}
+	if db.PendingUpdates() == 0 {
+		t.Error("updates should be pending")
+	}
+
+	// The new user and POI must be visible to queries right away.
+	q := Query{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5}
+	ans, _, err := db.Query(0, q)
+	if err != nil {
+		t.Fatalf("Query after updates: %v", err)
+	}
+	preCompact := ans.MaxDistance
+
+	// Network accessors see the delta too.
+	if db.Network().NumPOIs() != 5 || db.Network().NumUsers() != 6 {
+		t.Errorf("network sizes: %d POIs, %d users", db.Network().NumPOIs(), db.Network().NumUsers())
+	}
+	_ = poi
+
+	// Compaction must not change the answer.
+	if err := db.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if db.PendingUpdates() != 0 {
+		t.Error("compaction should clear pending updates")
+	}
+	ans2, _, err := db.Query(0, q)
+	if err != nil {
+		t.Fatalf("Query after compact: %v", err)
+	}
+	if math.Abs(ans2.MaxDistance-preCompact) > 1e-9 {
+		t.Errorf("compaction changed the answer: %v vs %v", ans2.MaxDistance, preCompact)
+	}
+}
+
+func TestDynamicNewUserJoinsGroup(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 4 has weak ties; give them a highly compatible new friend and a
+	// query that only this pair can satisfy.
+	newbie, err := db.AddUser(1.6, 1.0, []float64{0.1, 0.8, 0.5}) // same interests as user 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddFriendship(4, newbie); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.9, Theta: 0.3, Radius: 2}
+	ans, _, err := db.Query(4, q)
+	if err != nil {
+		if errors.Is(err, ErrNoAnswer) {
+			t.Fatal("expected the new friend to enable an answer")
+		}
+		t.Fatal(err)
+	}
+	hasNewbie := false
+	for _, u := range ans.Users {
+		if u == newbie {
+			hasNewbie = true
+		}
+	}
+	if !hasNewbie {
+		t.Errorf("group %v should include the new user %d", ans.Users, newbie)
+	}
+}
+
+func TestDynamicFacadeValidation(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddPOI(0, 0); err == nil {
+		t.Error("POI without keywords should fail")
+	}
+	if _, err := db.AddPOI(0, 0, 99); err == nil {
+		t.Error("out-of-vocabulary keyword should fail")
+	}
+	if _, err := db.AddUser(0, 0, []float64{0.5}); err == nil {
+		t.Error("short interest vector should fail")
+	}
+	if err := db.AddFriendship(0, 0); err == nil {
+		t.Error("self-friendship should fail")
+	}
+	if err := db.AddFriendship(0, 999); err == nil {
+		t.Error("unknown user should fail")
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a tiny spatial-social network by hand (the network of
+// the paper's Figure 1 / Table 1), index it, and ask a GP-SSN query —
+// "find me one friend and a set of nearby POIs we both like".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpssn"
+)
+
+func main() {
+	// Topics: 0 = restaurant, 1 = shopping mall, 2 = cafe.
+	topicNames := []string{"restaurant", "shopping mall", "cafe"}
+	b := gpssn.NewBuilder(3).SetName("quickstart")
+
+	// A 3x2 block of streets.
+	var v [6]int
+	coords := [][2]float64{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}
+	for i, c := range coords {
+		v[i] = b.AddIntersection(c[0], c[1])
+	}
+	b.AddRoad(v[0], v[1]).AddRoad(v[1], v[2])
+	b.AddRoad(v[3], v[4]).AddRoad(v[4], v[5])
+	b.AddRoad(v[0], v[3]).AddRoad(v[1], v[4]).AddRoad(v[2], v[5])
+
+	// POIs on the streets.
+	b.AddPOI(0.5, 0, 0)    // a restaurant
+	b.AddPOI(1.5, 0, 1)    // a mall
+	b.AddPOI(0.5, 1, 2)    // a cafe
+	b.AddPOI(1.5, 1, 0, 2) // a restaurant-cafe
+
+	// The five users of Table 1 with their interest vectors.
+	interests := [][]float64{
+		{0.7, 0.3, 0.7},
+		{0.2, 0.9, 0.3},
+		{0.4, 0.8, 0.8},
+		{0.9, 0.7, 0.7},
+		{0.1, 0.8, 0.5},
+	}
+	homes := [][2]float64{{0.1, 0}, {1.2, 0}, {1.9, 0.5}, {0.3, 1}, {1.7, 1}}
+	var u [5]int
+	for i := range interests {
+		u[i] = b.AddUser(homes[i][0], homes[i][1], interests[i])
+	}
+	b.AddFriendship(u[0], u[1]).AddFriendship(u[0], u[2]).AddFriendship(u[1], u[2])
+	b.AddFriendship(u[2], u[3]).AddFriendship(u[3], u[4])
+
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := gpssn.Open(net, gpssn.Config{
+		RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// User u1 wants one companion (group of 2) with interest score >= 0.5,
+	// POIs within a ball of radius 1.5 that match both (score >= 0.5).
+	ans, stats, err := db.Query(u[0], gpssn.Query{
+		GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("group: users %v\n", ans.Users)
+	fmt.Printf("POIs to visit (anchor %d):\n", ans.Anchor)
+	for _, poi := range ans.POIs {
+		kws := net.POIKeywords(poi)
+		names := make([]string, len(kws))
+		for i, k := range kws {
+			names[i] = topicNames[k]
+		}
+		x, y := net.POILocation(poi)
+		fmt.Printf("  POI %d at (%.1f, %.1f): %v\n", poi, x, y, names)
+	}
+	fmt.Printf("max travel distance: %.3f\n", ans.MaxDistance)
+	fmt.Printf("query cost: %s CPU, %d page reads\n", stats.CPUTime, stats.PageReads)
+}

@@ -1,0 +1,80 @@
+// Trip planning (the paper's Example 1): a user on a city-scale synthetic
+// spatial-social network asks for a group of like-minded friends and a
+// cluster of POIs close to everyone — then compares group sizes, and pulls
+// a top-3 list of alternative destinations.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"gpssn"
+)
+
+func main() {
+	fmt.Println("generating a synthetic city (this takes a few seconds)...")
+	net, err := gpssn.GenerateSynthetic(gpssn.SyntheticOptions{
+		Name: "trip-city", Seed: 42,
+		RoadVertices: 4000, Users: 4000, POIs: 1500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net.Stats())
+
+	db, err := gpssn.Open(net, gpssn.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexes built in %s\n\n", db.BuildTime)
+
+	const issuer = 123
+
+	// How does the trip change as the group grows?
+	for _, tau := range []int{2, 3, 5} {
+		ans, stats, err := db.Query(issuer, gpssn.Query{
+			GroupSize: tau, Gamma: 0.5, Theta: 0.5, Radius: 2,
+		})
+		if errors.Is(err, gpssn.ErrNoAnswer) {
+			fmt.Printf("tau=%d: no feasible group\n", tau)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tau=%d: group %v visits %d POIs around anchor %d, max distance %.2f (%s, %d I/Os)\n",
+			tau, ans.Users, len(ans.POIs), ans.Anchor, ans.MaxDistance,
+			stats.CPUTime, stats.PageReads)
+	}
+
+	// Turn-by-turn route: the road polyline from the issuer's home to the
+	// chosen anchor, for the last answer above.
+	if ans, _, err := db.Query(issuer, gpssn.Query{
+		GroupSize: 3, Gamma: 0.5, Theta: 0.5, Radius: 2,
+	}); err == nil {
+		dist, pts, rerr := net.Route(issuer, ans.Anchor)
+		if rerr == nil {
+			fmt.Printf("\nroute from user %d's home to anchor POI %d: %.2f road units, %d waypoints\n",
+				issuer, ans.Anchor, dist, len(pts))
+		}
+	}
+
+	// Alternative destinations: top-3 distinct POI clusters for a trio.
+	fmt.Println("\ntop-3 destination alternatives for a group of 3:")
+	answers, _, err := db.QueryTopK(issuer, gpssn.Query{
+		GroupSize: 3, Gamma: 0.5, Theta: 0.5, Radius: 2,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(answers) == 0 {
+		fmt.Println("  none feasible")
+		return
+	}
+	for i, ans := range answers {
+		x, y := net.POILocation(ans.Anchor)
+		fmt.Printf("  #%d: anchor POI %d at (%.1f, %.1f), %d POIs, max distance %.2f\n",
+			i+1, ans.Anchor, x, y, len(ans.POIs), ans.MaxDistance)
+	}
+}

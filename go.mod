@@ -1,0 +1,3 @@
+module gpssn
+
+go 1.22

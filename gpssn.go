@@ -1,0 +1,328 @@
+// Package gpssn implements Group Planning queries over Spatial-Social
+// Networks (GP-SSN), reproducing "Efficient Processing of Group Planning
+// Queries Over Spatial-Social Networks" (Al-Baghdadi, Sharma, Lian).
+//
+// A spatial-social network combines a road network G_r (intersections,
+// road segments, POIs on segments) with a social network G_s (users with
+// interest vectors, friendships, and homes on the road network). A GP-SSN
+// query issued by a user retrieves a group S of τ pairwise-compatible,
+// socially connected friends including the issuer, and a set R of spatially
+// close POIs matching every group member's interests, minimizing the
+// maximum road-network distance between group members and POIs.
+//
+// Typical use:
+//
+//	b := gpssn.NewBuilder(4)                    // 4 interest topics
+//	a := b.AddIntersection(0, 0)
+//	c := b.AddIntersection(1, 0)
+//	b.AddRoad(a, c)
+//	b.AddPOI(0.5, 0, 0, 2)                      // POI with keywords {0,2}
+//	u1 := b.AddUser(0.2, 0, []float64{0.9, 0, 0.5, 0})
+//	u2 := b.AddUser(0.7, 0, []float64{0.8, 0, 0.4, 0})
+//	b.AddFriendship(u1, u2)
+//	net, _ := b.Build()
+//
+//	db, _ := gpssn.Open(net, gpssn.DefaultConfig())
+//	ans, stats, _ := db.Query(u1, gpssn.Query{
+//		GroupSize: 2, Gamma: 0.3, Theta: 0.5, Radius: 1,
+//	})
+//
+// Synthetic and "real-like" datasets matching the paper's evaluation can
+// be generated with GenerateSynthetic and GenerateRealLike.
+package gpssn
+
+import (
+	"fmt"
+	"time"
+
+	"gpssn/internal/core"
+	"gpssn/internal/index"
+	"gpssn/internal/pivot"
+	"gpssn/internal/socialnet"
+)
+
+// Metric selects the user-to-user interest similarity.
+type Metric int
+
+const (
+	// DotProduct is the paper's interest score (Eq. 1), the default.
+	DotProduct Metric = iota
+	// Jaccard is the weighted Jaccard similarity extension.
+	Jaccard
+	// Hamming is the support-agreement similarity extension.
+	Hamming
+)
+
+func (m Metric) internal() core.InterestMetric {
+	switch m {
+	case Jaccard:
+		return core.MetricJaccard
+	case Hamming:
+		return core.MetricHamming
+	default:
+		return core.MetricDotProduct
+	}
+}
+
+// Config controls index construction.
+type Config struct {
+	// RoadPivots (h) and SocialPivots (l) are the pivot counts; defaults 5.
+	RoadPivots, SocialPivots int
+	// RMin and RMax bound the query radius served by the index; defaults
+	// 0.5 and 4 (the paper's Table 3 range).
+	RMin, RMax float64
+	// CostModelPivots selects pivots with the Algorithm 1 local search
+	// instead of uniformly at random. Slower build, better pruning.
+	CostModelPivots bool
+	// LeafSize and Fanout shape the social index I_S; defaults 64 and 8.
+	LeafSize, Fanout int
+	// MaxEntries is the R*-tree node capacity of I_R; default 16.
+	MaxEntries int
+	// PageSize and PoolPages configure the simulated page store used for
+	// the I/O metric; defaults 4096 and 128.
+	PageSize, PoolPages int
+	// Seed drives pivot selection.
+	Seed int64
+	// Sampling switches refinement to approximate random-expansion group
+	// sampling (the paper's future-work extension).
+	Sampling bool
+	// Corollary2 enables the second user-pruning pass during refinement.
+	Corollary2 bool
+	// CacheSize enables an LRU cache of query answers (entries; 0 = off).
+	// The cache is invalidated by any dynamic update and by Compact.
+	CacheSize int
+}
+
+// DefaultConfig returns the paper's default index configuration.
+func DefaultConfig() Config {
+	return Config{
+		RoadPivots: 5, SocialPivots: 5,
+		RMin: 0.5, RMax: 4,
+		LeafSize: 64, Fanout: 8, MaxEntries: 16,
+		PageSize: 4096, PoolPages: 128,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RoadPivots == 0 {
+		c.RoadPivots = d.RoadPivots
+	}
+	if c.SocialPivots == 0 {
+		c.SocialPivots = d.SocialPivots
+	}
+	if c.RMin == 0 {
+		c.RMin = d.RMin
+	}
+	if c.RMax == 0 {
+		c.RMax = d.RMax
+	}
+	if c.LeafSize == 0 {
+		c.LeafSize = d.LeafSize
+	}
+	if c.Fanout == 0 {
+		c.Fanout = d.Fanout
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = d.MaxEntries
+	}
+	if c.PageSize == 0 {
+		c.PageSize = d.PageSize
+	}
+	if c.PoolPages == 0 {
+		c.PoolPages = d.PoolPages
+	}
+	return c
+}
+
+// Query is one GP-SSN request (Definition 5).
+type Query struct {
+	// GroupSize is τ, the size of the returned user group including the
+	// issuer. Required, >= 1.
+	GroupSize int
+	// Gamma is the pairwise interest threshold γ in [0, ∞).
+	Gamma float64
+	// Theta is the user-POI matching threshold θ.
+	Theta float64
+	// Radius is r: the returned POI set is the road ball of radius r
+	// around an anchor POI, so POIs are pairwise within 2r.
+	Radius float64
+	// Metric selects the similarity; zero value is the paper's DotProduct.
+	Metric Metric
+}
+
+// Answer is a GP-SSN result.
+type Answer struct {
+	// Users is the group S, sorted, always containing the issuer.
+	Users []int
+	// POIs is the set R, sorted.
+	POIs []int
+	// Anchor is the POI whose radius-r ball forms R.
+	Anchor int
+	// MaxDistance is the minimized max road distance between S and R.
+	MaxDistance float64
+}
+
+// Stats reports per-query cost, matching the paper's two metrics plus the
+// pruning counters behind its effectiveness figures.
+type Stats struct {
+	// CPUTime is the wall time of the query.
+	CPUTime time.Duration
+	// PageReads is the number of simulated index page accesses (the
+	// paper's I/O metric, cold cache per query).
+	PageReads int64
+	// CandidateUsers and CandidateAnchors survive the index traversal.
+	CandidateUsers, CandidateAnchors int
+	// Raw exposes every pruning counter for experiment harnesses.
+	Raw core.Stats
+}
+
+// DB is a queryable spatial-social network: a dataset plus its two GP-SSN
+// indexes. Build one with Open. A DB may be shared across goroutines:
+// queries serialize internally, because the simulated page store counts
+// I/O per query.
+type DB struct {
+	net    *Network
+	engine *core.Engine
+	cfg    Config
+	cache  *answerCache
+
+	// BuildTime is how long index construction took.
+	BuildTime time.Duration
+}
+
+// Open builds the I_R and I_S indexes over the network and returns a
+// queryable DB.
+func Open(net *Network, cfg Config) (*DB, error) {
+	if net == nil || net.ds == nil {
+		return nil, fmt.Errorf("gpssn: nil network")
+	}
+	c := cfg.withDefaults()
+	start := time.Now()
+
+	ds := net.ds
+	roadPivots := pivot.RandomRoad(ds.Road, c.RoadPivots, c.Seed+1)
+	socialPivots := pivot.RandomSocial(ds.Social, c.SocialPivots, c.Seed+2)
+	if c.CostModelPivots {
+		roadPivots = pivot.SelectRoad(ds.Road, attachObjects(ds), c.RoadPivots, pivot.Options{Seed: c.Seed + 1})
+		socialPivots = pivot.SelectSocial(ds.Social, c.SocialPivots, pivot.Options{Seed: c.Seed + 2})
+	}
+
+	road, err := index.BuildRoad(ds, index.RoadConfig{
+		Pivots: roadPivots, RMin: c.RMin, RMax: c.RMax,
+		MaxEntries: c.MaxEntries, PageSize: c.PageSize, PoolPages: c.PoolPages,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gpssn: building road index: %w", err)
+	}
+	social, err := index.BuildSocial(ds, index.SocialConfig{
+		RoadPivots: road.Pivots, SocialPivots: socialPivots,
+		LeafSize: c.LeafSize, Fanout: c.Fanout,
+		PageSize: c.PageSize, PoolPages: c.PoolPages,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gpssn: building social index: %w", err)
+	}
+	engine := core.NewEngine(ds, road, social, core.Options{
+		SamplingRefine: c.Sampling,
+		UseCorollary2:  c.Corollary2,
+	})
+	return &DB{
+		net: net, engine: engine, cfg: c,
+		cache:     newAnswerCache(c.CacheSize),
+		BuildTime: time.Since(start),
+	}, nil
+}
+
+// Network returns the underlying network.
+func (db *DB) Network() *Network { return db.net }
+
+// Query answers a GP-SSN query for the given issuer. It returns
+// ErrNoAnswer (wrapped) when no feasible group/POI pair exists.
+func (db *DB) Query(user int, q Query) (*Answer, *Stats, error) {
+	if user < 0 || user >= len(db.net.ds.Users) {
+		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
+	}
+	key := cacheKey{user: user, q: q, k: 1}
+	if e, ok := db.cache.get(key); ok {
+		st := e.stats
+		if !e.found {
+			return nil, &st, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
+		}
+		ans := cloneAnswer(e.answers[0])
+		return &ans, &st, nil
+	}
+	p := core.Params{
+		Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius,
+		Metric: q.Metric.internal(),
+	}
+	res, raw, err := db.engine.Query(socialnet.UserID(user), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{
+		CPUTime:          raw.CPUTime,
+		PageReads:        raw.PageReads,
+		CandidateUsers:   raw.CandUsers,
+		CandidateAnchors: raw.CandAnchors,
+		Raw:              raw,
+	}
+	if !res.Found {
+		db.cache.put(key, nil, *st, false)
+		return nil, st, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
+	}
+	ans := &Answer{
+		Anchor:      int(res.Anchor),
+		MaxDistance: res.MaxDist,
+	}
+	for _, u := range res.S {
+		ans.Users = append(ans.Users, int(u))
+	}
+	for _, o := range res.R {
+		ans.POIs = append(ans.POIs, int(o))
+	}
+	db.cache.put(key, []Answer{cloneAnswer(*ans)}, *st, true)
+	return ans, st, nil
+}
+
+// QueryTopK returns up to k answers with distinct anchor POIs, cheapest
+// first. It returns an empty slice (and no error) when nothing is feasible.
+func (db *DB) QueryTopK(user int, q Query, k int) ([]Answer, *Stats, error) {
+	if user < 0 || user >= len(db.net.ds.Users) {
+		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
+	}
+	p := core.Params{
+		Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius,
+		Metric: q.Metric.internal(),
+	}
+	results, raw, err := db.engine.QueryTopK(socialnet.UserID(user), p, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{
+		CPUTime:          raw.CPUTime,
+		PageReads:        raw.PageReads,
+		CandidateUsers:   raw.CandUsers,
+		CandidateAnchors: raw.CandAnchors,
+		Raw:              raw,
+	}
+	answers := make([]Answer, 0, len(results))
+	for _, res := range results {
+		ans := Answer{Anchor: int(res.Anchor), MaxDistance: res.MaxDist}
+		for _, u := range res.S {
+			ans.Users = append(ans.Users, int(u))
+		}
+		for _, o := range res.R {
+			ans.POIs = append(ans.POIs, int(o))
+		}
+		answers = append(answers, ans)
+	}
+	return answers, st, nil
+}
+
+// Engine exposes the internal engine for the benchmark harness. External
+// users should stick to Query.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// ErrNoAnswer is returned (wrapped) when a query has no feasible result.
+var ErrNoAnswer = fmt.Errorf("gpssn: no feasible answer")

@@ -1,0 +1,312 @@
+package gpssn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// figure1Network builds a small network in the spirit of the paper's
+// Figure 1 / Table 1: five users with the published interest vectors over
+// topics {restaurant, shopping mall, cafe}, on a small grid road network
+// with a handful of POIs.
+func figure1Network(t testing.TB) *Network {
+	t.Helper()
+	b := NewBuilder(3).SetName("figure1")
+	// 3x2 grid of intersections, unit spacing.
+	v := make([]int, 6)
+	coords := [][2]float64{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}
+	for i, c := range coords {
+		v[i] = b.AddIntersection(c[0], c[1])
+	}
+	b.AddRoad(v[0], v[1]).AddRoad(v[1], v[2])
+	b.AddRoad(v[3], v[4]).AddRoad(v[4], v[5])
+	b.AddRoad(v[0], v[3]).AddRoad(v[1], v[4]).AddRoad(v[2], v[5])
+
+	// POIs: restaurant, mall, cafe, restaurant+cafe.
+	b.AddPOI(0.5, 0, 0)
+	b.AddPOI(1.5, 0, 1)
+	b.AddPOI(0.5, 1, 2)
+	b.AddPOI(1.5, 1, 0, 2)
+
+	// Table 1 interest vectors.
+	interests := [][]float64{
+		{0.7, 0.3, 0.7},
+		{0.2, 0.9, 0.3},
+		{0.4, 0.8, 0.8},
+		{0.9, 0.7, 0.7},
+		{0.1, 0.8, 0.5},
+	}
+	locs := [][2]float64{{0.1, 0}, {1.2, 0}, {1.9, 0.5}, {0.3, 1}, {1.7, 1}}
+	u := make([]int, 5)
+	for i := range interests {
+		u[i] = b.AddUser(locs[i][0], locs[i][1], interests[i])
+	}
+	b.AddFriendship(u[0], u[1]).AddFriendship(u[0], u[2]).AddFriendship(u[1], u[2])
+	b.AddFriendship(u[2], u[3]).AddFriendship(u[3], u[4])
+
+	net, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return net
+}
+
+func TestBuilderAndQueryEndToEnd(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, RMin: 0.5, RMax: 4, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ans, stats, err := db.Query(0, Query{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(ans.Users) != 2 || ans.Users[0] != 0 && ans.Users[1] != 0 {
+		t.Fatalf("answer users = %v, must contain issuer 0", ans.Users)
+	}
+	if len(ans.POIs) == 0 {
+		t.Fatal("answer has no POIs")
+	}
+	if ans.MaxDistance <= 0 || math.IsInf(ans.MaxDistance, 1) {
+		t.Fatalf("MaxDistance = %v", ans.MaxDistance)
+	}
+	if stats.CPUTime <= 0 || stats.PageReads <= 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+	// Answer consistency through the public accessors.
+	for _, u := range ans.Users {
+		for _, o := range ans.POIs {
+			if d := net.RoadDistance(u, o); d > ans.MaxDistance+1e-9 {
+				t.Fatalf("user %d to POI %d distance %v exceeds reported max %v", u, o, d, ans.MaxDistance)
+			}
+		}
+	}
+}
+
+func TestQueryNoAnswer(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = db.Query(0, Query{GroupSize: 5, Gamma: 3.0, Theta: 0.5, Radius: 1})
+	if !errors.Is(err, ErrNoAnswer) {
+		t.Fatalf("want ErrNoAnswer, got %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Query(99, Query{GroupSize: 2, Radius: 1}); err == nil {
+		t.Error("out-of-range user should error")
+	}
+	if _, _, err := db.Query(0, Query{GroupSize: 0, Radius: 1}); err == nil {
+		t.Error("GroupSize 0 should error")
+	}
+	if _, _, err := db.Query(0, Query{GroupSize: 2, Radius: 100}); err == nil {
+		t.Error("radius above RMax should error")
+	}
+}
+
+func TestBuilderErrorAccumulation(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddPOI(0, 0, 0)               // before any road
+	b.AddUser(0, 0, []float64{0.5}) // wrong interest length (and no road)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should report accumulated errors")
+	}
+	b2 := NewBuilder(0)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("zero topics should fail")
+	}
+	b3 := NewBuilder(2)
+	v0 := b3.AddIntersection(0, 0)
+	v1 := b3.AddIntersection(1, 0)
+	b3.AddRoad(v0, v1)
+	b3.AddRoad(v0, v0) // self loop
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("self-loop road should fail")
+	}
+	b4 := NewBuilder(2)
+	w0 := b4.AddIntersection(0, 0)
+	w1 := b4.AddIntersection(1, 0)
+	b4.AddRoad(w0, w1)
+	b4.AddUser(0, 0, []float64{0.5, 0.5})
+	b4.AddFriendship(0, 5) // unknown user
+	if _, err := b4.Build(); err == nil {
+		t.Fatal("friendship to unknown user should fail")
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	net := figure1Network(t)
+	if net.NumUsers() != 5 || net.NumPOIs() != 4 || net.NumIntersections() != 6 || net.NumTopics() != 3 {
+		t.Errorf("sizes wrong: %d users %d POIs %d intersections %d topics",
+			net.NumUsers(), net.NumPOIs(), net.NumIntersections(), net.NumTopics())
+	}
+	if net.Name() != "figure1" {
+		t.Errorf("Name = %q", net.Name())
+	}
+	w := net.UserInterests(0)
+	if len(w) != 3 || w[0] != 0.7 {
+		t.Errorf("UserInterests = %v", w)
+	}
+	w[0] = 99 // must be a copy
+	if net.UserInterests(0)[0] == 99 {
+		t.Error("UserInterests must return a copy")
+	}
+	if kw := net.POIKeywords(3); len(kw) != 2 {
+		t.Errorf("POIKeywords = %v", kw)
+	}
+	if !net.AreFriends(0, 1) || net.AreFriends(0, 4) {
+		t.Error("AreFriends wrong")
+	}
+	x, y := net.POILocation(0)
+	if math.IsNaN(x) || math.IsNaN(y) {
+		t.Error("POILocation invalid")
+	}
+	if net.Stats() == "" {
+		t.Error("Stats empty")
+	}
+}
+
+func TestSaveLoadRoundTripFacade(t *testing.T) {
+	net := figure1Network(t)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.NumUsers() != net.NumUsers() || got.NumPOIs() != net.NumPOIs() {
+		t.Error("round trip lost data")
+	}
+	// The reloaded network must answer queries identically.
+	cfg := Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2}
+	db1, err := Open(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(got, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.4, Theta: 0.4, Radius: 2}
+	a1, _, err1 := db1.Query(0, q)
+	a2, _, err2 := db2.Query(0, q)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("errors differ: %v vs %v", err1, err2)
+	}
+	if err1 == nil && math.Abs(a1.MaxDistance-a2.MaxDistance) > 1e-9 {
+		t.Errorf("answers differ: %v vs %v", a1.MaxDistance, a2.MaxDistance)
+	}
+}
+
+func TestGenerateSyntheticFacade(t *testing.T) {
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Seed: 1, RoadVertices: 300, Users: 200, POIs: 150, Topics: 8,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	db, err := Open(net, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Run a few queries; at least one should usually find an answer at a
+	// permissive threshold, and none may error for structural reasons.
+	found := 0
+	for u := 0; u < 10; u++ {
+		ans, _, err := db.Query(u, Query{GroupSize: 2, Gamma: 0.1, Theta: 0.2, Radius: 3})
+		if err != nil && !errors.Is(err, ErrNoAnswer) {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		if err == nil {
+			found++
+			if len(ans.Users) != 2 {
+				t.Fatalf("wrong group size: %v", ans.Users)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no query found any answer at permissive thresholds")
+	}
+}
+
+func TestGenerateSyntheticZipf(t *testing.T) {
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Seed: 2, RoadVertices: 200, Users: 100, POIs: 80, Topics: 6, Zipf: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumUsers() != 100 {
+		t.Errorf("NumUsers = %d", net.NumUsers())
+	}
+}
+
+func TestGenerateRealLikeFacade(t *testing.T) {
+	net, err := GenerateRealLike(BrightkiteCalifornia, 3, 0.01)
+	if err != nil {
+		t.Fatalf("GenerateRealLike: %v", err)
+	}
+	if net.Name() != "Bri+Cal" {
+		t.Errorf("Name = %q", net.Name())
+	}
+	if _, err := GenerateRealLike(RealLikeKind(99), 1, 0.01); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestOpenNilNetwork(t *testing.T) {
+	if _, err := Open(nil, DefaultConfig()); err == nil {
+		t.Error("Open(nil) should fail")
+	}
+}
+
+func TestMetricsThroughFacade(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Metric{DotProduct, Jaccard, Hamming} {
+		_, _, err := db.Query(0, Query{GroupSize: 2, Gamma: 0.1, Theta: 0.1, Radius: 2, Metric: m})
+		if err != nil && !errors.Is(err, ErrNoAnswer) {
+			t.Errorf("metric %d: %v", m, err)
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Seed: 8, RoadVertices: 400, Users: 400, POIs: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.Analyze()
+	if a.MaxDegree <= 0 {
+		t.Error("MaxDegree missing")
+	}
+	if len(a.DegreeHistogram) != a.MaxDegree+1 {
+		t.Error("histogram length inconsistent")
+	}
+	if a.Homophily <= 0 {
+		t.Errorf("generated network should be homophilous, got %v", a.Homophily)
+	}
+	if a.LargestComponent <= 0 || a.LargestComponent > 1 {
+		t.Errorf("LargestComponent = %v", a.LargestComponent)
+	}
+	if a.MeanHops <= 0 {
+		t.Error("MeanHops missing")
+	}
+}

@@ -1,0 +1,49 @@
+package gpssn
+
+import (
+	"io"
+
+	"gpssn/internal/model"
+)
+
+// CSVInput bundles the readers for ImportCSV. The formats mirror public
+// spatial-social dumps (SNAP friendship edge lists, DIMACS-style road
+// files):
+//
+//   - RoadVertices: "id,x,y" with ids 0..N-1.
+//   - RoadEdges: "u,v" undirected road segments (duplicates ignored).
+//   - SocialEdges: "u,v" undirected friendships (optional; nil means no
+//     friendships).
+//   - Users: "id,x,y,p0,...,p_{d-1}" — home coordinates (snapped onto the
+//     nearest road segment) and the interest vector; d is inferred from
+//     the first row.
+//   - POIs: "id,x,y,k0[;k1...]" — coordinates (snapped) and a
+//     semicolon-separated keyword list.
+//
+// Lines starting with '#' and blank lines are ignored.
+type CSVInput struct {
+	Name         string
+	RoadVertices io.Reader
+	RoadEdges    io.Reader
+	SocialEdges  io.Reader
+	Users        io.Reader
+	POIs         io.Reader
+}
+
+// ImportCSV assembles a Network from CSV data, validating every row. Use
+// it to load real road networks and check-in datasets instead of the
+// built-in generators.
+func ImportCSV(in CSVInput) (*Network, error) {
+	ds, err := model.LoadCSV(model.CSVInput{
+		Name:         in.Name,
+		RoadVertices: in.RoadVertices,
+		RoadEdges:    in.RoadEdges,
+		SocialEdges:  in.SocialEdges,
+		Users:        in.Users,
+		POIs:         in.POIs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{ds: ds}, nil
+}

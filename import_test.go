@@ -1,0 +1,104 @@
+package gpssn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func csvNetwork(t *testing.T) *Network {
+	t.Helper()
+	net, err := ImportCSV(CSVInput{
+		Name: "csv-city",
+		RoadVertices: strings.NewReader(`0,0,0
+1,2,0
+2,2,2
+3,0,2`),
+		RoadEdges: strings.NewReader(`0,1
+1,2
+2,3
+3,0`),
+		SocialEdges: strings.NewReader(`0,1
+1,2
+0,2`),
+		Users: strings.NewReader(`0,0.2,0,0.9,0.1,0
+1,1.5,0,0.8,0.2,0
+2,2,1.5,0.7,0.3,0.1`),
+		POIs: strings.NewReader(`0,1,0,0
+1,2,1,0;1
+2,0.5,2,2`),
+	})
+	if err != nil {
+		t.Fatalf("ImportCSV: %v", err)
+	}
+	return net
+}
+
+func TestImportCSVAndQuery(t *testing.T) {
+	net := csvNetwork(t)
+	if net.NumUsers() != 3 || net.NumPOIs() != 3 || net.NumTopics() != 3 {
+		t.Fatalf("sizes: %d users %d POIs %d topics", net.NumUsers(), net.NumPOIs(), net.NumTopics())
+	}
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := db.Query(0, Query{GroupSize: 2, Gamma: 0.3, Theta: 0.3, Radius: 2})
+	if err != nil && !errors.Is(err, ErrNoAnswer) {
+		t.Fatalf("Query: %v", err)
+	}
+	if err == nil && len(ans.Users) != 2 {
+		t.Errorf("answer = %+v", ans)
+	}
+}
+
+func TestImportCSVRejectsBadInput(t *testing.T) {
+	_, err := ImportCSV(CSVInput{})
+	if err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestQueryTopKFacade(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, stats, err := db.QueryTopK(0, Query{GroupSize: 2, Gamma: 0.4, Theta: 0.4, Radius: 1.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("expected at least one answer")
+	}
+	for i := 1; i < len(answers); i++ {
+		if answers[i].MaxDistance < answers[i-1].MaxDistance-1e-12 {
+			t.Error("answers not sorted by cost")
+		}
+	}
+	seen := map[int]bool{}
+	for _, a := range answers {
+		if seen[a.Anchor] {
+			t.Error("duplicate anchors in top-k")
+		}
+		seen[a.Anchor] = true
+	}
+	if stats.PageReads <= 0 {
+		t.Error("stats missing")
+	}
+	// Top-1 must agree with Query.
+	single, _, err := db.Query(0, Query{GroupSize: 2, Gamma: 0.4, Theta: 0.4, Radius: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.MaxDistance != answers[0].MaxDistance {
+		t.Errorf("Query %v != top-1 %v", single.MaxDistance, answers[0].MaxDistance)
+	}
+	if _, _, err := db.QueryTopK(99, Query{GroupSize: 2, Radius: 1}, 2); err == nil {
+		t.Error("bad user should error")
+	}
+	if _, _, err := db.QueryTopK(0, Query{GroupSize: 2, Radius: 1}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+}

@@ -1,0 +1,215 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, -64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestSetTestBit(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Bit(i) {
+			t.Errorf("bit %d should start clear", i)
+		}
+		v.SetBit(i)
+		if !v.Bit(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != 8 {
+		t.Errorf("Count = %d, want 8", v.Count())
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) should panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestKeywordNoFalseNegatives(t *testing.T) {
+	// Whatever collisions happen, a set keyword must always test positive.
+	f := func(width uint8, kws []uint16) bool {
+		w := int(width)%512 + 1
+		v := New(w)
+		for _, k := range kws {
+			v.SetKeyword(int(k))
+		}
+		for _, k := range kws {
+			if !v.TestKeyword(int(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrIsSupersetOfBoth(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		const w = 256
+		va := New(w)
+		vb := New(w)
+		for _, k := range a {
+			va.SetKeyword(int(k))
+		}
+		for _, k := range b {
+			vb.SetKeyword(int(k))
+		}
+		u := va.Clone()
+		u.Or(vb)
+		return u.Contains(va) && u.Contains(vb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := FromKeywords(64, []int{1, 2, 3})
+	b := FromKeywords(64, []int{2, 3})
+	if !a.Contains(b) {
+		t.Error("a should contain b")
+	}
+	if b.Contains(a) && a.Count() != b.Count() {
+		t.Error("b should not contain a (unless hashing collapsed them)")
+	}
+	empty := New(64)
+	if !a.Contains(empty) {
+		t.Error("everything contains the empty vector")
+	}
+	if !empty.Contains(empty) {
+		t.Error("empty contains empty")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromKeywords(256, []int{10, 20})
+	b := FromKeywords(256, []int{20, 30})
+	c := New(256)
+	if !a.Intersects(b) {
+		t.Error("a and b share keyword 20")
+	}
+	if a.Intersects(c) {
+		t.Error("nothing intersects the empty vector")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	a, b := New(64), New(128)
+	for name, fn := range map[string]func(){
+		"Or":         func() { a.Or(b) },
+		"Contains":   func() { a.Contains(b) },
+		"Intersects": func() { a.Intersects(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched widths should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromKeywords(64, []int{5})
+	b := a.Clone()
+	b.SetKeyword(6)
+	if a.Equal(b) && a.Count() != b.Count() {
+		t.Error("mutating clone must not affect original")
+	}
+	if !a.TestKeyword(5) {
+		t.Error("original lost its keyword")
+	}
+}
+
+func TestResetAndEqual(t *testing.T) {
+	a := FromKeywords(64, []int{1, 2, 3})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should be equal")
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Errorf("Count after Reset = %d", a.Count())
+	}
+	if a.Equal(b) && b.Count() > 0 {
+		t.Error("reset vector should differ from populated clone")
+	}
+	if a.Equal(New(128)) {
+		t.Error("different widths are never equal")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(1).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(1-bit) = %d, want 8", got)
+	}
+	if got := New(64).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(64-bit) = %d, want 8", got)
+	}
+	if got := New(65).SizeBytes(); got != 16 {
+		t.Errorf("SizeBytes(65-bit) = %d, want 16", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	v := New(4)
+	v.SetBit(1)
+	v.SetBit(3)
+	if got := v.String(); got != "0101" {
+		t.Errorf("String = %q, want 0101", got)
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	// With 64 keywords hashed into 1024 bits, the false-positive rate for a
+	// fresh keyword should be well under 20%. This guards the hash function
+	// quality; a catastrophic hash (everything to one bit) would destroy
+	// the index's pruning power silently.
+	rng := rand.New(rand.NewSource(7))
+	const width = 1024
+	v := New(width)
+	present := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		k := rng.Intn(10000)
+		present[k] = true
+		v.SetKeyword(k)
+	}
+	fp, trials := 0, 0
+	for k := 10000; k < 12000; k++ {
+		trials++
+		if v.TestKeyword(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(trials); rate > 0.2 {
+		t.Errorf("false positive rate %.3f too high", rate)
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// Baseline answers a GP-SSN query by brute force, exactly as Section 6.1
+// describes the competitor: enumerate every connected user set S of size τ
+// containing u_q that satisfies the pairwise interest threshold γ, pair it
+// with every POI ball R = ⊙(o_i, r) that θ-matches all of S, and return the
+// pair with the smallest maximum road distance. It shares the engine's
+// solution space, so on any input Engine.Query must return the same optimal
+// cost — the test suite uses Baseline as the correctness oracle. Cost grows
+// combinatorially; call it only on small datasets.
+type Baseline struct {
+	DS *model.Dataset
+}
+
+// Query runs the brute-force search. The second return value counts the
+// (S, R) pairs evaluated.
+func (b *Baseline) Query(uq socialnet.UserID, p Params) (Result, int64) {
+	res, pairs := b.QueryTopK(uq, p, 1)
+	if len(res) == 0 {
+		return Result{MaxDist: math.Inf(1)}, pairs
+	}
+	return res[0], pairs
+}
+
+// QueryTopK brute-forces the k best answers with distinct anchors,
+// cheapest first (the oracle for Engine.QueryTopK).
+func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, int64) {
+	ds := b.DS
+	var pairs int64
+
+	// All connected τ-subsets containing uq with pairwise similarity >= γ.
+	groups := b.enumerateGroups(uq, p)
+	if len(groups) == 0 {
+		return nil, 0
+	}
+
+	// Exact per-user vertex distances, computed once per involved user.
+	distCache := map[socialnet.UserID][]float64{}
+	vertexDist := func(u socialnet.UserID) []float64 {
+		if dv, ok := distCache[u]; ok {
+			return dv
+		}
+		at := ds.Users[u].At
+		edge := ds.Road.EdgeAt(at.Edge)
+		dv := ds.Road.DijkstraMulti([]roadnet.Seed{
+			{Vertex: edge.U, Dist: at.T * edge.Weight},
+			{Vertex: edge.V, Dist: (1 - at.T) * edge.Weight},
+		})
+		distCache[u] = dv
+		return dv
+	}
+	attDist := func(u socialnet.UserID, at roadnet.Attach) float64 {
+		dv := vertexDist(u)
+		d := ds.Road.DistToVertexVia(at, dv)
+		if ds.Users[u].At.Edge == at.Edge {
+			edge := ds.Road.EdgeAt(at.Edge)
+			if direct := math.Abs(ds.Users[u].At.T-at.T) * edge.Weight; direct < d {
+				d = direct
+			}
+		}
+		return d
+	}
+
+	keeper := &resultKeeper{k: k}
+	allAtts := make([]roadnet.Attach, len(ds.POIs))
+	for i := range ds.POIs {
+		allAtts[i] = ds.POIs[i].At
+	}
+	for ai := range ds.POIs {
+		anchor := model.POIID(ai)
+		dists := ds.Road.DistAttachWithin(ds.POIs[ai].At, p.R, allAtts)
+		var ball []model.POIID
+		for j := range ds.POIs {
+			if !math.IsInf(dists[j], 1) {
+				ball = append(ball, model.POIID(j))
+			}
+		}
+		if len(ball) == 0 {
+			ball = []model.POIID{anchor}
+		}
+		kws := NewTopicSet(ds.NumTopics)
+		for _, o := range ball {
+			for _, k := range ds.POIs[o].Keywords {
+				kws.Add(k)
+			}
+		}
+		anchorBest := Result{MaxDist: math.Inf(1)}
+		for _, S := range groups {
+			pairs++
+			feasible := true
+			for _, u := range S {
+				if MatchScoreSet(ds.Users[u].Interests, kws) < p.Theta {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			cost := 0.0
+			for _, u := range S {
+				for _, o := range ball {
+					if d := attDist(u, ds.POIs[o].At); d > cost {
+						cost = d
+					}
+				}
+			}
+			if cost < anchorBest.MaxDist {
+				sortedS := append([]socialnet.UserID(nil), S...)
+				sort.Slice(sortedS, func(i, j int) bool { return sortedS[i] < sortedS[j] })
+				sortedR := append([]model.POIID(nil), ball...)
+				sort.Slice(sortedR, func(i, j int) bool { return sortedR[i] < sortedR[j] })
+				anchorBest = Result{Found: true, S: sortedS, R: sortedR, Anchor: anchor, MaxDist: cost}
+			}
+		}
+		if anchorBest.Found {
+			keeper.add(anchorBest)
+		}
+	}
+	return keeper.items, pairs
+}
+
+// enumerateGroups lists every connected τ-subset containing uq whose pairs
+// all meet the similarity threshold.
+func (b *Baseline) enumerateGroups(uq socialnet.UserID, p Params) [][]socialnet.UserID {
+	ds := b.DS
+	var out [][]socialnet.UserID
+	cur := []socialnet.UserID{uq}
+	var rec func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool)
+	rec = func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool) {
+		if len(cur) == p.Tau {
+			out = append(out, append([]socialnet.UserID(nil), cur...))
+			return
+		}
+		local := map[socialnet.UserID]bool{}
+		for i, v := range ext {
+			ok := true
+			for _, u := range cur {
+				if Similarity(p.Metric, ds.Users[u].Interests, ds.Users[v].Interests) < p.Gamma {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				local[v] = true
+				continue
+			}
+			cur = append(cur, v)
+			inCur := map[socialnet.UserID]bool{}
+			for _, u := range cur {
+				inCur[u] = true
+			}
+			seen := map[socialnet.UserID]bool{}
+			var newExt []socialnet.UserID
+			for _, w := range ext[i+1:] {
+				if !local[w] && !forbidden[w] && !seen[w] {
+					newExt = append(newExt, w)
+					seen[w] = true
+				}
+			}
+			for _, w := range ds.Social.Friends(v) {
+				if !inCur[w] && !seen[w] && !forbidden[w] && !local[w] && !inPrefix(ext, i, w) {
+					newExt = append(newExt, w)
+					seen[w] = true
+				}
+			}
+			rec(newExt, union(forbidden, local))
+			cur = cur[:len(cur)-1]
+			local[v] = true
+		}
+	}
+	var ext []socialnet.UserID
+	for _, v := range ds.Social.Friends(uq) {
+		ext = append(ext, v)
+	}
+	if p.Tau == 1 {
+		return [][]socialnet.UserID{{uq}}
+	}
+	rec(ext, map[socialnet.UserID]bool{})
+	return out
+}
+
+func inPrefix(ext []socialnet.UserID, i int, w socialnet.UserID) bool {
+	for _, u := range ext[:i+1] {
+		if u == w {
+			return true
+		}
+	}
+	return false
+}
+
+func union(a, b map[socialnet.UserID]bool) map[socialnet.UserID]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[socialnet.UserID]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// CostEstimate is the sampling-based Baseline cost estimator of Section 6.3
+// (Fig. 8): it measures the average per-pair evaluation time over sample
+// user groups and extrapolates to the full C(m-1, τ-1)·n pair space.
+type CostEstimate struct {
+	// SampledPairs is how many (S, R) pairs were actually evaluated.
+	SampledPairs int64
+	// AvgPairTime is the mean wall time to evaluate one pair.
+	AvgPairTime time.Duration
+	// TotalPairsLog2 is log2 of the full pair count.
+	TotalPairsLog2 float64
+	// EstimatedTotal is AvgPairTime scaled to the full pair space, in
+	// hours (it overflows time.Duration for realistic inputs).
+	EstimatedHours float64
+}
+
+// EstimateCost samples `samples` random connected user groups (the paper
+// uses 100), times the per-pair work, and extrapolates.
+func (b *Baseline) EstimateCost(uq socialnet.UserID, p Params, samples int, seed int64) CostEstimate {
+	ds := b.DS
+	rng := rand.New(rand.NewSource(seed))
+	var est CostEstimate
+	est.TotalPairsLog2 = pairsTotalLog2(len(ds.Users)-1, p.Tau-1, len(ds.POIs))
+
+	allAtts := make([]roadnet.Attach, len(ds.POIs))
+	for i := range ds.POIs {
+		allAtts[i] = ds.POIs[i].At
+	}
+	start := time.Now()
+	for trial := 0; trial < samples; trial++ {
+		// Random connected group grown from uq.
+		S := []socialnet.UserID{uq}
+		in := map[socialnet.UserID]bool{uq: true}
+		for len(S) < p.Tau {
+			var frontier []socialnet.UserID
+			for _, u := range S {
+				for _, v := range ds.Social.Friends(u) {
+					if !in[v] {
+						frontier = append(frontier, v)
+					}
+				}
+			}
+			if len(frontier) == 0 {
+				break
+			}
+			v := frontier[rng.Intn(len(frontier))]
+			S = append(S, v)
+			in[v] = true
+		}
+		// One random anchor ball; evaluate the pair completely the way the
+		// brute force would.
+		ai := rng.Intn(len(ds.POIs))
+		dists := ds.Road.DistAttachWithin(ds.POIs[ai].At, p.R, allAtts)
+		kws := NewTopicSet(ds.NumTopics)
+		var ball []roadnet.Attach
+		for j := range ds.POIs {
+			if !math.IsInf(dists[j], 1) {
+				ball = append(ball, ds.POIs[j].At)
+				for _, k := range ds.POIs[j].Keywords {
+					kws.Add(k)
+				}
+			}
+		}
+		for _, u := range S {
+			_ = MatchScoreSet(ds.Users[u].Interests, kws)
+		}
+		for _, u := range S {
+			ds.Road.DistAttachMany(ds.Users[u].At, ball)
+		}
+		est.SampledPairs++
+	}
+	elapsed := time.Since(start)
+	if est.SampledPairs > 0 {
+		est.AvgPairTime = elapsed / time.Duration(est.SampledPairs)
+	}
+	// EstimatedHours = avgPairSeconds * 2^TotalPairsLog2 / 3600.
+	est.EstimatedHours = est.AvgPairTime.Seconds() * math.Exp2(est.TotalPairsLog2) / 3600
+	return est
+}

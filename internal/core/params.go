@@ -1,0 +1,59 @@
+package core
+
+import "fmt"
+
+// Params are the GP-SSN query parameters of Definition 5 and Table 3.
+type Params struct {
+	// Gamma (γ) is the pairwise interest score threshold between any two
+	// users of the returned group S.
+	Gamma float64
+	// Tau (τ) is the user group size |S|, including the query issuer.
+	Tau int
+	// Theta (θ) is the matching score threshold between each user in S and
+	// the POI set R.
+	Theta float64
+	// R (r) bounds the POI set's spread: the returned R is the road-network
+	// ball of radius r around an anchor POI, so any two members are within
+	// road distance 2r as Definition 5 requires.
+	R float64
+	// Metric selects the user similarity (MetricDotProduct is the paper's
+	// Eq. (1); Jaccard/Hamming are the future-work extensions).
+	Metric InterestMetric
+}
+
+// DefaultParams returns the paper's default parameter values (the bold
+// entries of Table 3).
+func DefaultParams() Params {
+	return Params{Gamma: 0.5, Tau: 5, Theta: 0.5, R: 2, Metric: MetricDotProduct}
+}
+
+// Validate checks the parameters against the index build bounds
+// [rmin, rmax] for the radius.
+func (p Params) Validate(rmin, rmax float64) error {
+	if p.Tau < 1 {
+		return fmt.Errorf("core: tau must be >= 1, got %d", p.Tau)
+	}
+	if p.Gamma < 0 {
+		return fmt.Errorf("core: gamma must be >= 0, got %v", p.Gamma)
+	}
+	if p.Theta < 0 {
+		return fmt.Errorf("core: theta must be >= 0, got %v", p.Theta)
+	}
+	if p.R <= 0 {
+		return fmt.Errorf("core: r must be > 0, got %v", p.R)
+	}
+	if p.R < rmin || p.R > rmax {
+		return fmt.Errorf("core: r=%v outside the index build range [%v, %v]", p.R, rmin, rmax)
+	}
+	switch p.Metric {
+	case MetricDotProduct, MetricJaccard, MetricHamming:
+	default:
+		return fmt.Errorf("core: unknown interest metric %d", int(p.Metric))
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("γ=%.2f τ=%d θ=%.2f r=%.2f metric=%s", p.Gamma, p.Tau, p.Theta, p.R, p.Metric)
+}

@@ -1,0 +1,767 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"gpssn/internal/geo"
+
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// probeResult carries the incumbent found by the pre-traversal probe and
+// the per-user Dijkstra cache it warmed up (reused by refinement).
+type probeResult struct {
+	res   Result
+	cache map[socialnet.UserID][]float64
+}
+
+// probe searches for one feasible solution around the issuer's nearest
+// anchor POIs by greedy connected group growth. Its cost, when found, is a
+// sound upper bound on the optimum (it is the cost of an actual feasible
+// pair), so it can seed δ and the refinement incumbent.
+func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
+	pr := probeResult{
+		res:   Result{MaxDist: math.Inf(1)},
+		cache: map[socialnet.UserID][]float64{},
+	}
+	ds := e.DS
+	uqW := ds.Users[uq].Interests
+	const probeAnchors = 3
+	nn := e.Road.Tree.Nearest(ds.Users[uq].Loc, probeAnchors)
+	tried := map[model.POIID]bool{}
+	mOf := func(u socialnet.UserID, ball []model.POIID) float64 {
+		dv, ok := pr.cache[u]
+		if !ok {
+			dv = e.userVertexDist(u)
+			pr.cache[u] = dv
+		}
+		m := 0.0
+		for _, o := range ball {
+			d := e.attachDistVia(ds.POIs[o].At, dv)
+			if ds.Users[u].At.Edge == ds.POIs[o].At.Edge {
+				edge := ds.Road.EdgeAt(ds.POIs[o].At.Edge)
+				if direct := math.Abs(ds.Users[u].At.T-ds.POIs[o].At.T) * edge.Weight; direct < d {
+					d = direct
+				}
+			}
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	tryAnchor := func(anchor model.POIID) {
+		if tried[anchor] {
+			return
+		}
+		tried[anchor] = true
+		ball := e.ballAround(anchor, p.R)
+		kws := NewTopicSet(ds.NumTopics)
+		for _, o := range ball {
+			for _, k := range ds.POIs[o].Keywords {
+				kws.Add(k)
+			}
+		}
+		if MatchScoreSet(uqW, kws) < p.Theta {
+			return
+		}
+		mUq := mOf(uq, ball)
+		if mUq >= pr.res.MaxDist {
+			return
+		}
+		cur := []socialnet.UserID{uq}
+		inCur := map[socialnet.UserID]bool{uq: true}
+		curMax := mUq
+		evals := 0
+		for len(cur) < p.Tau {
+			// Frontier: eligible friends of the current group, cheapest
+			// (smallest M) first; cap the per-step distance evaluations so
+			// the probe stays cheap on hub users.
+			var bestU socialnet.UserID = -1
+			bestM := math.Inf(1)
+			checked := 0
+			for _, u := range cur {
+				for _, v := range ds.Social.Friends(u) {
+					if inCur[v] || checked >= 16 {
+						continue
+					}
+					compatible := true
+					for _, w := range cur {
+						if Similarity(p.Metric, ds.Users[w].Interests, ds.Users[v].Interests) < p.Gamma {
+							compatible = false
+							break
+						}
+					}
+					if !compatible || MatchScoreSet(ds.Users[v].Interests, kws) < p.Theta {
+						continue
+					}
+					checked++
+					evals++
+					m := mOf(v, ball)
+					if m < bestM {
+						bestM, bestU = m, v
+					}
+				}
+			}
+			if bestU < 0 || evals > 16*p.Tau {
+				break
+			}
+			cur = append(cur, bestU)
+			inCur[bestU] = true
+			if bestM > curMax {
+				curMax = bestM
+			}
+		}
+		if len(cur) == p.Tau && curMax < pr.res.MaxDist {
+			s := append([]socialnet.UserID(nil), cur...)
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			r := append([]model.POIID(nil), ball...)
+			sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+			pr.res = Result{Found: true, S: s, R: r, Anchor: anchor, MaxDist: curMax}
+		}
+	}
+	for _, nb := range nn {
+		tryAnchor(model.POIID(nb.Item.ID))
+	}
+	// Second round: anchors near the found group's centroid usually beat
+	// anchors near the issuer alone, and a tighter incumbent is the main
+	// lever on δ-pruning.
+	if pr.res.Found {
+		var cx, cy float64
+		for _, u := range pr.res.S {
+			cx += ds.Users[u].Loc.X
+			cy += ds.Users[u].Loc.Y
+		}
+		n := float64(len(pr.res.S))
+		for _, nb := range e.Road.Tree.Nearest(geo.Pt(cx/n, cy/n), probeAnchors) {
+			tryAnchor(model.POIID(nb.Item.ID))
+		}
+	}
+	return pr
+}
+
+// resultKeeper holds the best k results so far, sorted by MaxDist, with
+// distinct anchors.
+type resultKeeper struct {
+	k     int
+	items []Result
+}
+
+// bound returns the current pruning bound: the k-th best cost, or +Inf
+// while fewer than k results are known.
+func (rk *resultKeeper) bound() float64 {
+	if len(rk.items) < rk.k {
+		return math.Inf(1)
+	}
+	return rk.items[len(rk.items)-1].MaxDist
+}
+
+// add inserts r, deduplicating by anchor (keeping the cheaper) and
+// trimming to k.
+func (rk *resultKeeper) add(r Result) {
+	for i := range rk.items {
+		if rk.items[i].Anchor == r.Anchor {
+			if r.MaxDist < rk.items[i].MaxDist {
+				rk.items = append(rk.items[:i], rk.items[i+1:]...)
+				break
+			}
+			return
+		}
+	}
+	pos := len(rk.items)
+	for pos > 0 && rk.items[pos-1].MaxDist > r.MaxDist {
+		pos--
+	}
+	rk.items = append(rk.items, Result{})
+	copy(rk.items[pos+1:], rk.items[pos:])
+	rk.items[pos] = r
+	if len(rk.items) > rk.k {
+		rk.items = rk.items[:rk.k]
+	}
+}
+
+// refine is Algorithm 2 lines 29-31: exact filtering of the candidate sets
+// and enumeration of the user-POI group pairs (S, R'(o_i)) to produce the
+// actual GP-SSN answers. R is materialized as the road-network ball of
+// radius r around each candidate anchor POI; S is found by branch-and-bound
+// enumeration of connected τ-subsets containing u_q (or by the
+// random-expansion sampling extension when Opts.SamplingRefine is set).
+// It returns the best k results with distinct anchors, cheapest first.
+func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, probe probeResult, st *Stats) []Result {
+	ds := e.DS
+	uqUser := ds.User(uq)
+
+	// Exact user filtering (line 29): hop distance within τ-1 of u_q and
+	// exact interest similarity >= γ.
+	hops := ds.Social.BFSHopsBounded(uq, int32(p.Tau-1))
+	var cand []socialnet.UserID
+	for _, u := range tr.candUsers {
+		if hops[u] == socialnet.Unreachable {
+			st.SNObjPruned++
+			st.SNObjPrunedDist++
+			continue
+		}
+		if Similarity(p.Metric, uqUser.Interests, ds.Users[u].Interests) < p.Gamma {
+			st.SNObjPruned++
+			st.SNObjPrunedInterest++
+			continue
+		}
+		cand = append(cand, u)
+	}
+	if e.Opts.UseCorollary2 && p.Metric == MetricDotProduct {
+		cand = e.corollary2Filter(uq, p, cand, st)
+	}
+	st.CandUsers = len(cand)
+	st.CandAnchors = len(tr.candAnchors)
+
+	// Exact distances from u_q to every vertex (one Dijkstra, reused from
+	// the probe when it ran); anchors are then processed in ascending
+	// exact distance so the search can stop as soon as the next anchor's
+	// lower bound meets the incumbent.
+	uqDist, ok := probe.cache[uq]
+	if !ok {
+		uqDist = e.userVertexDist(uq)
+	}
+	type anchorCand struct {
+		id  model.POIID
+		duq float64
+	}
+	anchors := make([]anchorCand, 0, len(tr.candAnchors))
+	for _, a := range tr.candAnchors {
+		anchors = append(anchors, anchorCand{id: a, duq: e.attachDistVia(ds.POIs[a].At, uqDist)})
+	}
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].duq < anchors[j].duq })
+
+	keeper := &resultKeeper{k: k}
+	if probe.res.Found {
+		keeper.add(probe.res) // feasible: a sound incumbent
+	}
+	distCache := probe.cache
+	distCache[uq] = uqDist
+
+	for _, ac := range anchors {
+		// maxdist(S, ball) >= dist(u_q, anchor): once the keeper is full
+		// and even the anchor distance cannot beat the k-th best, no later
+		// anchor can either (anchors are sorted by duq).
+		if ac.duq >= keeper.bound() {
+			break
+		}
+		ball := e.ballAround(ac.id, p.R)
+		ballAtts := make([]roadnet.Attach, len(ball))
+		for i, o := range ball {
+			ballAtts[i] = ds.POIs[o].At
+		}
+		kws := NewTopicSet(ds.NumTopics)
+		for _, o := range ball {
+			for _, k := range ds.POIs[o].Keywords {
+				kws.Add(k)
+			}
+		}
+		if MatchScoreSet(uqUser.Interests, kws) < p.Theta {
+			continue
+		}
+		// M(u) = max_{o in ball} dist_RN(u, o); the group cost is
+		// max_{u in S} M(u). With a finite incumbent the computation runs a
+		// Dijkstra truncated at the current bound: a ball vertex left
+		// unsettled proves M(u) >= bound, so the user cannot improve the
+		// answer and +Inf is a sound stand-in.
+		mOf := func(u socialnet.UserID) float64 {
+			if b := keeper.bound(); !math.IsInf(b, 1) {
+				if dv, ok := distCache[u]; ok {
+					return mFromVertexDist(e, u, ball, dv)
+				}
+				dists := ds.Road.DistAttachWithin(ds.Users[u].At, b, ballAtts)
+				m := 0.0
+				for _, d := range dists {
+					if math.IsInf(d, 1) {
+						return math.Inf(1)
+					}
+					if d > m {
+						m = d
+					}
+				}
+				return m
+			}
+			dv, ok := distCache[u]
+			if !ok {
+				dv = e.userVertexDist(u)
+				distCache[u] = dv
+			}
+			return mFromVertexDist(e, u, ball, dv)
+		}
+		mUq := mOf(uq)
+		if mUq >= keeper.bound() {
+			continue
+		}
+		// No incumbent yet (the probe failed): grow one greedy feasible
+		// group on this anchor first, so every later distance computation
+		// runs as a bounded Dijkstra instead of a full one. Sound — the
+		// greedy result is feasible and the exact enumeration below still
+		// sees this anchor.
+		if math.IsInf(keeper.bound(), 1) && p.Tau > 1 {
+			if S, cost, ok := e.greedyGroup(uq, p, ball, kws, mUq, mOf); ok {
+				sorted := append([]socialnet.UserID(nil), S...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				keeper.add(Result{Found: true, S: sorted, R: ball, Anchor: ac.id, MaxDist: cost})
+			}
+		}
+		if p.Tau == 1 {
+			st.PairsEvaluated++
+			keeper.add(Result{Found: true, S: []socialnet.UserID{uq}, R: ball, Anchor: ac.id, MaxDist: mUq})
+			continue
+		}
+
+		// Eligible companions for this anchor: θ-match the ball and have a
+		// useful group cost.
+		type comp struct {
+			u socialnet.UserID
+			m float64
+		}
+		var comps []comp
+		anchorRD := e.poiRDOf(ac.id)
+		// Cheap feasibility count first: without tau-1 theta-matching
+		// candidates the anchor is dead, no distance work needed.
+		matching := 0
+		for _, u := range cand {
+			if MatchScoreSet(ds.Users[u].Interests, kws) >= p.Theta {
+				matching++
+			}
+		}
+		if matching < p.Tau-1 {
+			continue
+		}
+		for _, u := range cand {
+			if MatchScoreSet(ds.Users[u].Interests, kws) < p.Theta {
+				continue
+			}
+			// Pivot lower bound of dist(u, anchor) before paying for the
+			// exact per-user Dijkstra: M(u) >= dist(u, anchor).
+			if roadnet.LowerBound(e.userRDOf(u), anchorRD) >= keeper.bound() {
+				continue
+			}
+			m := mOf(u)
+			if math.Max(m, mUq) >= keeper.bound() {
+				continue
+			}
+			comps = append(comps, comp{u: u, m: m})
+		}
+		if len(comps) < p.Tau-1 {
+			continue
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i].m < comps[j].m })
+		users := make([]socialnet.UserID, len(comps))
+		mv := map[socialnet.UserID]float64{uq: mUq}
+		for i, c := range comps {
+			users[i] = c.u
+			mv[c.u] = c.m
+		}
+		// Sound necessary condition before the exponential search: u_q
+		// must reach at least τ-1 eligible companions through eligible
+		// users (pairwise-γ can only shrink that set further).
+		if !reachableEnough(ds, uq, users, p.Tau) {
+			continue
+		}
+
+		var S []socialnet.UserID
+		var cost float64
+		if e.Opts.SamplingRefine {
+			S, cost = e.sampleGroups(uq, p, users, mv, keeper.bound(), st)
+		} else {
+			S, cost = e.enumerateGroups(uq, p, users, mv, keeper.bound(), st)
+		}
+		if S != nil {
+			keeper.add(Result{Found: true, S: S, R: ball, Anchor: ac.id, MaxDist: cost})
+		}
+	}
+	for i := range keeper.items {
+		sort.Slice(keeper.items[i].S, func(a, b int) bool { return keeper.items[i].S[a] < keeper.items[i].S[b] })
+		sort.Slice(keeper.items[i].R, func(a, b int) bool { return keeper.items[i].R[a] < keeper.items[i].R[b] })
+	}
+	return keeper.items
+}
+
+// mFromVertexDist evaluates M(u) from a full per-user vertex distance
+// array.
+func mFromVertexDist(e *Engine, u socialnet.UserID, ball []model.POIID, dv []float64) float64 {
+	ds := e.DS
+	m := 0.0
+	for _, o := range ball {
+		d := e.attachDistVia(ds.POIs[o].At, dv)
+		if ds.Users[u].At.Edge == ds.POIs[o].At.Edge {
+			edge := ds.Road.EdgeAt(ds.Users[u].At.Edge)
+			if direct := math.Abs(ds.Users[u].At.T-ds.POIs[o].At.T) * edge.Weight; direct < d {
+				d = direct
+			}
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// reachableEnough reports whether at least need-1 of the eligible users
+// are in u_q's connected component of the eligible-induced subgraph.
+func reachableEnough(ds *model.Dataset, uq socialnet.UserID, eligible []socialnet.UserID, need int) bool {
+	if need <= 1 {
+		return true
+	}
+	in := make(map[socialnet.UserID]bool, len(eligible)+1)
+	for _, u := range eligible {
+		in[u] = true
+	}
+	in[uq] = true
+	seen := map[socialnet.UserID]bool{uq: true}
+	stack := []socialnet.UserID{uq}
+	count := 0
+	for len(stack) > 0 && count < need-1 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range ds.Social.Friends(u) {
+			if in[v] && !seen[v] {
+				seen[v] = true
+				count++
+				if count >= need-1 {
+					return true
+				}
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count >= need-1
+}
+
+// greedyGroup grows one feasible connected τ-group from u_q on the given
+// ball, picking the cheapest eligible friend at each step (the same greedy
+// the probe uses, against an arbitrary anchor). Returns ok=false when no
+// group completes within the evaluation cap.
+func (e *Engine) greedyGroup(uq socialnet.UserID, p Params, ball []model.POIID, kws TopicSet, mUq float64, mOf func(socialnet.UserID) float64) ([]socialnet.UserID, float64, bool) {
+	ds := e.DS
+	cur := []socialnet.UserID{uq}
+	inCur := map[socialnet.UserID]bool{uq: true}
+	curMax := mUq
+	evals := 0
+	for len(cur) < p.Tau {
+		var bestU socialnet.UserID = -1
+		bestM := math.Inf(1)
+		checked := 0
+		for _, u := range cur {
+			for _, v := range ds.Social.Friends(u) {
+				if inCur[v] || checked >= 16 {
+					continue
+				}
+				compatible := true
+				for _, w := range cur {
+					if Similarity(p.Metric, ds.Users[w].Interests, ds.Users[v].Interests) < p.Gamma {
+						compatible = false
+						break
+					}
+				}
+				if !compatible || MatchScoreSet(ds.Users[v].Interests, kws) < p.Theta {
+					continue
+				}
+				checked++
+				evals++
+				if m := mOf(v); m < bestM {
+					bestM, bestU = m, v
+				}
+			}
+		}
+		if bestU < 0 || evals > 16*p.Tau {
+			return nil, 0, false
+		}
+		cur = append(cur, bestU)
+		inCur[bestU] = true
+		if bestM > curMax {
+			curMax = bestM
+		}
+	}
+	return cur, curMax, true
+}
+
+// corollary2Filter applies Corollary 2: a candidate u_k lying in the
+// pruning regions of at least |S'|-τ+1 other candidates cannot belong to
+// any feasible group and is dropped. The pass iterates until fixpoint,
+// since removals shrink S'.
+func (e *Engine) corollary2Filter(uq socialnet.UserID, p Params, cand []socialnet.UserID, st *Stats) []socialnet.UserID {
+	ds := e.DS
+	for {
+		// S' = {u_q} ∪ cand.
+		sPrime := len(cand) + 1
+		threshold := sPrime - p.Tau + 1
+		if threshold <= 0 {
+			return cand
+		}
+		var kept []socialnet.UserID
+		removed := false
+		for _, uk := range cand {
+			wk := ds.Users[uk].Interests
+			inRegions := 0
+			// Regions of the query user and of every other candidate.
+			if InterestScore(ds.Users[uq].Interests, wk) < p.Gamma {
+				inRegions++
+			}
+			for _, ul := range cand {
+				if ul == uk {
+					continue
+				}
+				if InterestScore(ds.Users[ul].Interests, wk) < p.Gamma {
+					inRegions++
+				}
+			}
+			if inRegions >= threshold {
+				st.SNObjPruned++
+				st.SNObjPrunedInterest++
+				removed = true
+				continue
+			}
+			kept = append(kept, uk)
+		}
+		cand = kept
+		if !removed {
+			return cand
+		}
+	}
+}
+
+// ballAround returns the POIs within road distance radius of the anchor
+// (always including the anchor itself).
+func (e *Engine) ballAround(anchor model.POIID, radius float64) []model.POIID {
+	ds := e.DS
+	pre := e.Road.EuclidBall(ds.POIs[anchor].Loc, radius)
+	pre = append(pre, e.deltaBallMembers(anchor, radius)...)
+	atts := make([]roadnet.Attach, len(pre))
+	for i, id := range pre {
+		atts[i] = ds.POIs[id].At
+	}
+	dists := ds.Road.DistAttachWithin(ds.POIs[anchor].At, radius, atts)
+	var ball []model.POIID
+	seenAnchor := false
+	for i, id := range pre {
+		if !math.IsInf(dists[i], 1) {
+			ball = append(ball, id)
+			if id == anchor {
+				seenAnchor = true
+			}
+		}
+	}
+	if !seenAnchor {
+		ball = append(ball, anchor)
+	}
+	return ball
+}
+
+// userVertexDist returns exact road distances from the user's home to every
+// vertex (one Dijkstra).
+func (e *Engine) userVertexDist(u socialnet.UserID) []float64 {
+	at := e.DS.Users[u].At
+	edge := e.DS.Road.EdgeAt(at.Edge)
+	return e.DS.Road.DijkstraMulti([]roadnet.Seed{
+		{Vertex: edge.U, Dist: at.T * edge.Weight},
+		{Vertex: edge.V, Dist: (1 - at.T) * edge.Weight},
+	})
+}
+
+// attachDistVia evaluates dist_RN from the Dijkstra source to an attachment
+// through its edge endpoints.
+func (e *Engine) attachDistVia(at roadnet.Attach, dist []float64) float64 {
+	return e.DS.Road.DistToVertexVia(at, dist)
+}
+
+// enumerateGroups finds the connected τ-subset S containing u_q with
+// pairwise similarity >= γ minimizing max M(u), by ESU-style enumeration of
+// connected induced subgraphs with branch-and-bound on the incumbent. It
+// returns (nil, +Inf) when no feasible group beats `bound`.
+func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, st *Stats) ([]socialnet.UserID, float64) {
+	ds := e.DS
+	eligible := make(map[socialnet.UserID]bool, len(users)+1)
+	for _, u := range users {
+		eligible[u] = true
+	}
+	eligible[uq] = true
+
+	bestCost := bound
+	var bestS []socialnet.UserID
+
+	// neighbors restricted to eligible users, sorted by M ascending so the
+	// cheapest extensions come first.
+	nbrs := func(u socialnet.UserID) []socialnet.UserID {
+		var out []socialnet.UserID
+		for _, v := range ds.Social.Friends(u) {
+			if eligible[v] {
+				out = append(out, v)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return mv[out[i]] < mv[out[j]] })
+		return out
+	}
+
+	cur := []socialnet.UserID{uq}
+	curMax := mv[uq]
+	expansions := 0
+
+	var rec func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool)
+	rec = func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool) {
+		if e.Opts.RefineBudget > 0 && expansions > e.Opts.RefineBudget {
+			return // budget exhausted: keep the best found so far
+		}
+		expansions++
+		if curMax >= bestCost {
+			return // the incumbent already beats every extension
+		}
+		if len(cur) == p.Tau {
+			st.PairsEvaluated++
+			if curMax < bestCost {
+				bestCost = curMax
+				bestS = append([]socialnet.UserID(nil), cur...)
+			}
+			return
+		}
+		localForbidden := map[socialnet.UserID]bool{}
+		for i, v := range ext {
+			if mv[v] >= bestCost {
+				// Any group containing v costs at least mv[v]; exclude it
+				// from this whole subtree.
+				localForbidden[v] = true
+				continue
+			}
+			// Pairwise similarity with everything already chosen.
+			ok := true
+			for _, u := range cur {
+				if Similarity(p.Metric, ds.Users[u].Interests, ds.Users[v].Interests) < p.Gamma {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				localForbidden[v] = true
+				continue
+			}
+			// Extend.
+			oldMax := curMax
+			cur = append(cur, v)
+			if mv[v] > curMax {
+				curMax = mv[v]
+			}
+			// New extension: remaining ext plus v's eligible neighbours not
+			// already excluded, in cur, or in ext.
+			inExt := map[socialnet.UserID]bool{}
+			var newExt []socialnet.UserID
+			for _, w := range ext[i+1:] {
+				if !localForbidden[w] && !forbidden[w] {
+					newExt = append(newExt, w)
+					inExt[w] = true
+				}
+			}
+			inCur := map[socialnet.UserID]bool{}
+			for _, u := range cur {
+				inCur[u] = true
+			}
+			for _, w := range nbrs(v) {
+				if !inCur[w] && !inExt[w] && !forbidden[w] && !localForbidden[w] && !containsUserBefore(ext, i, w) {
+					newExt = append(newExt, w)
+					inExt[w] = true
+				}
+			}
+			sort.Slice(newExt, func(a, b int) bool { return mv[newExt[a]] < mv[newExt[b]] })
+			rec(newExt, mergeForbidden(forbidden, localForbidden))
+			cur = cur[:len(cur)-1]
+			curMax = oldMax
+			localForbidden[v] = true
+		}
+	}
+	rec(nbrs(uq), map[socialnet.UserID]bool{})
+	if bestS == nil {
+		return nil, math.Inf(1)
+	}
+	return bestS, bestCost
+}
+
+func containsUserBefore(ext []socialnet.UserID, i int, w socialnet.UserID) bool {
+	for _, u := range ext[:i+1] {
+		if u == w {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeForbidden(a, b map[socialnet.UserID]bool) map[socialnet.UserID]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[socialnet.UserID]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// sampleGroups is the random-expansion subset sampling the paper sketches
+// as future work: grow SampleCount random connected groups from u_q and
+// keep the best feasible one. Approximate.
+func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, st *Stats) ([]socialnet.UserID, float64) {
+	ds := e.DS
+	eligible := make(map[socialnet.UserID]bool, len(users)+1)
+	for _, u := range users {
+		eligible[u] = true
+	}
+	eligible[uq] = true
+	rng := rand.New(rand.NewSource(int64(uq)*1000003 + int64(p.Tau)))
+
+	bestCost := bound
+	var bestS []socialnet.UserID
+	for trial := 0; trial < e.Opts.SampleCount; trial++ {
+		cur := []socialnet.UserID{uq}
+		inCur := map[socialnet.UserID]bool{uq: true}
+		curMax := mv[uq]
+		for len(cur) < p.Tau {
+			// Random eligible, compatible neighbour of the current set.
+			var frontier []socialnet.UserID
+			for _, u := range cur {
+				for _, v := range ds.Social.Friends(u) {
+					if !eligible[v] || inCur[v] {
+						continue
+					}
+					compatible := true
+					for _, w := range cur {
+						if Similarity(p.Metric, ds.Users[w].Interests, ds.Users[v].Interests) < p.Gamma {
+							compatible = false
+							break
+						}
+					}
+					if compatible {
+						frontier = append(frontier, v)
+					}
+				}
+			}
+			if len(frontier) == 0 {
+				break
+			}
+			v := frontier[rng.Intn(len(frontier))]
+			cur = append(cur, v)
+			inCur[v] = true
+			if mv[v] > curMax {
+				curMax = mv[v]
+			}
+		}
+		if len(cur) == p.Tau {
+			st.PairsEvaluated++
+			if curMax < bestCost {
+				bestCost = curMax
+				bestS = append([]socialnet.UserID(nil), cur...)
+			}
+		}
+	}
+	if bestS == nil {
+		return nil, math.Inf(1)
+	}
+	return bestS, bestCost
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"gpssn/internal/socialnet"
+)
+
+func TestConfigOverridesRespected(t *testing.T) {
+	d, err := Synthetic(Config{
+		Seed: 9, RoadVertices: 300, SocialUsers: 300, POIs: 120,
+		Topics: 12, CommunitySize: 50, IntraProb: 0.99,
+		ProfileTopics: 2, DistrictSide: 5, GeoCohesion: 0.02,
+		MaxSocialDegree: 4, MaxPOIsPerEdge: 2, MaxKeywordsPerPOI: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTopics != 12 {
+		t.Errorf("NumTopics = %d", d.NumTopics)
+	}
+	// MaxSocialDegree caps the per-user edge *initiations*; realized
+	// degrees can reach at most 2x the cap (initiated + received).
+	if deg := d.Social.AvgDegree(); deg > 8 {
+		t.Errorf("avg degree %v exceeds plausible cap for MaxSocialDegree=4", deg)
+	}
+	for _, p := range d.POIs {
+		if len(p.Keywords) > 2 {
+			t.Fatalf("POI has %d keywords, cap 2", len(p.Keywords))
+		}
+		for _, k := range p.Keywords {
+			if k >= 12 {
+				t.Fatalf("keyword %d outside vocabulary 12", k)
+			}
+		}
+	}
+}
+
+func TestHighIntraProbTightensCommunities(t *testing.T) {
+	loose, err := Synthetic(Config{Seed: 10, RoadVertices: 400, SocialUsers: 600, POIs: 150, IntraProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Synthetic(Config{Seed: 10, RoadVertices: 400, SocialUsers: 600, POIs: 150, IntraProb: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustering should be markedly higher with near-total intra-community
+	// wiring.
+	lc := loose.Social.ClusteringCoefficient()
+	tc := tight.Social.ClusteringCoefficient()
+	if tc <= lc {
+		t.Errorf("clustering: intra=0.99 gives %v, intra=0.3 gives %v; expected tighter communities", tc, lc)
+	}
+}
+
+func TestGeoCohesionShrinksGroupSpread(t *testing.T) {
+	spread := func(cohesion float64) float64 {
+		d, err := Synthetic(Config{
+			Seed: 11, RoadVertices: 900, SocialUsers: 600, POIs: 200,
+			GeoCohesion: cohesion,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean distance between friends' homes.
+		total, n := 0.0, 0
+		for u := 0; u < d.Social.NumUsers(); u += 5 {
+			for _, v := range d.Social.Friends(socialnet.UserID(u)) {
+				total += d.Users[u].Loc.Dist(d.Users[v].Loc)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no friendships")
+		}
+		return total / float64(n)
+	}
+	tight := spread(0.02)
+	loose := spread(0.3)
+	if tight >= loose {
+		t.Errorf("friend-home spread: cohesion 0.02 gives %v, 0.3 gives %v", tight, loose)
+	}
+	if math.IsNaN(tight) || math.IsNaN(loose) {
+		t.Fatal("NaN spread")
+	}
+}

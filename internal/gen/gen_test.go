@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"gpssn/internal/socialnet"
+)
+
+// smallCfg is a fast configuration for unit tests.
+func smallCfg(dist Distribution, seed int64) Config {
+	return Config{
+		Name:         "test",
+		Seed:         seed,
+		RoadVertices: 400,
+		SocialUsers:  300,
+		POIs:         200,
+		Topics:       8,
+		Dist:         dist,
+	}
+}
+
+func TestSyntheticUniform(t *testing.T) {
+	d, err := Synthetic(smallCfg(Uniform, 1))
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.Road.NumVertices() != 400 || len(d.Users) != 300 || len(d.POIs) != 200 {
+		t.Errorf("sizes: %d verts, %d users, %d POIs",
+			d.Road.NumVertices(), len(d.Users), len(d.POIs))
+	}
+	if !d.Road.IsConnected() {
+		t.Error("road network must be connected")
+	}
+}
+
+func TestSyntheticZipf(t *testing.T) {
+	d, err := Synthetic(smallCfg(Zipf, 2))
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(smallCfg(Uniform, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(smallCfg(Uniform, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Road.NumEdges() != b.Road.NumEdges() ||
+		a.Social.NumFriendships() != b.Social.NumFriendships() {
+		t.Error("same seed must generate identical datasets")
+	}
+	for i := range a.Users {
+		if a.Users[i].At != b.Users[i].At {
+			t.Fatalf("user %d attach differs", i)
+		}
+		for f := range a.Users[i].Interests {
+			if a.Users[i].Interests[f] != b.Users[i].Interests[f] {
+				t.Fatalf("user %d interests differ", i)
+			}
+		}
+	}
+	c, err := Synthetic(smallCfg(Uniform, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Road.NumEdges() == c.Road.NumEdges() && a.Social.NumFriendships() == c.Social.NumFriendships() {
+		// Different seed *could* coincide, but both identical is a red flag.
+		same := true
+		for i := range a.Users {
+			if a.Users[i].At != c.Users[i].At {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds generated identical users")
+		}
+	}
+}
+
+func TestSyntheticRoadDegreeRealistic(t *testing.T) {
+	d, err := Synthetic(smallCfg(Uniform, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := d.Road.AvgDegree()
+	if deg < 1.5 || deg > 4.5 {
+		t.Errorf("road avg degree %v outside road-network-like range", deg)
+	}
+}
+
+func TestSyntheticSocialDegreeRange(t *testing.T) {
+	d, err := Synthetic(smallCfg(Uniform, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := d.Social.AvgDegree()
+	// Each user initiates 1..10 edges; dedup/self-loop rejection keeps the
+	// realized average within (1, 11).
+	if deg <= 1 || deg >= 11 {
+		t.Errorf("social avg degree %v outside (1,11)", deg)
+	}
+}
+
+func TestSyntheticEveryUserHasInterest(t *testing.T) {
+	d, err := Synthetic(smallCfg(Zipf, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range d.Users {
+		sum := 0.0
+		for _, p := range u.Interests {
+			sum += p
+		}
+		if sum == 0 {
+			t.Fatalf("user %d has an all-zero interest vector", i)
+		}
+	}
+}
+
+func TestSyntheticPOIKeywordsSorted(t *testing.T) {
+	d, err := Synthetic(smallCfg(Zipf, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range d.POIs {
+		for k := 1; k < len(p.Keywords); k++ {
+			if p.Keywords[k-1] >= p.Keywords[k] {
+				t.Fatalf("POI %d keywords not strictly sorted: %v", i, p.Keywords)
+			}
+		}
+	}
+}
+
+func TestSyntheticRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"1 road vertex": {RoadVertices: 1, SocialUsers: 10, POIs: 5, Topics: 4},
+		"neg users":     {RoadVertices: 10, SocialUsers: -1, POIs: 5, Topics: 4},
+		"neg POIs":      {RoadVertices: 10, SocialUsers: 10, POIs: -2, Topics: 4},
+	} {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("%s: Synthetic should fail", name)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipf.String() != "zipf" {
+		t.Error("Distribution names wrong")
+	}
+}
+
+func TestRealLikeSmallScale(t *testing.T) {
+	cfg := BrightkiteCalifornia(1, 0.02) // 800 users, 420 road vertices
+	d, err := RealLike(cfg)
+	if err != nil {
+		t.Fatalf("RealLike: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.Name != "Bri+Cal" {
+		t.Errorf("Name = %q", d.Name)
+	}
+	if !d.Road.IsConnected() {
+		t.Error("real-like road network must be connected")
+	}
+	// Road degree should be near the 2.1 target (trimmed).
+	if deg := d.Road.AvgDegree(); deg > 2.6 || deg < 1.8 {
+		t.Errorf("road degree %v too far from 2.1 target", deg)
+	}
+}
+
+func TestRealLikeSocialDegreeNearTarget(t *testing.T) {
+	cfg := GowallaColorado(2, 0.02)
+	d, err := RealLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := d.Social.AvgDegree()
+	// Stub matching drops duplicate edges, so realized mean is below the
+	// 32.1 target but should stay in its neighbourhood.
+	if deg < 32.1*0.5 || deg > 32.1*1.2 {
+		t.Errorf("social degree %v too far from 32.1 target", deg)
+	}
+}
+
+func TestRealLikePowerLawTail(t *testing.T) {
+	cfg := BrightkiteCalifornia(3, 0.05)
+	d, err := RealLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-law graphs have hubs: max degree should dwarf the mean.
+	maxDeg := 0
+	for u := 0; u < d.Social.NumUsers(); u++ {
+		if deg := d.Social.Degree(socialnet.UserID(u)); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	if float64(maxDeg) < 3*d.Social.AvgDegree() {
+		t.Errorf("max degree %d vs mean %.1f: no power-law tail", maxDeg, d.Social.AvgDegree())
+	}
+}
+
+func TestRealLikeInterestVectorsFromCheckins(t *testing.T) {
+	cfg := BrightkiteCalifornia(4, 0.02)
+	d, err := RealLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range d.Users {
+		sum := 0.0
+		for _, p := range u.Interests {
+			if p < 0 || p > 1 {
+				t.Fatalf("user %d has out-of-range interest %v", i, p)
+			}
+			sum += p
+		}
+		if sum == 0 {
+			t.Fatalf("user %d checked into POIs but has empty interests", i)
+		}
+	}
+}
+
+func TestRealLikeNegativeScale(t *testing.T) {
+	cfg := BrightkiteCalifornia(1, -1)
+	if _, err := RealLike(cfg); err == nil {
+		t.Error("negative scale should fail")
+	}
+}
+
+func TestRealLikeHomeOnRoad(t *testing.T) {
+	cfg := GowallaColorado(5, 0.02)
+	d, err := RealLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range d.Users {
+		loc := d.Road.Location(u.At)
+		if math.IsNaN(loc.X) || math.IsNaN(loc.Y) {
+			t.Fatalf("user %d home not on road", i)
+		}
+		if loc.Dist(u.Loc) > 1e-9 {
+			t.Fatalf("user %d Loc %v inconsistent with attachment %v", i, u.Loc, loc)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+
+	"gpssn/internal/core"
+	"gpssn/internal/model"
+	"gpssn/internal/socialnet"
+)
+
+// interestSim adapts the interest score to the analysis helper.
+func interestSim(ds *model.Dataset) func(a, b socialnet.UserID) float64 {
+	return func(a, b socialnet.UserID) float64 {
+		return core.InterestScore(ds.Users[a].Interests, ds.Users[b].Interests)
+	}
+}
+
+// The generated networks must exhibit interest homophily — friends more
+// similar than strangers — because the paper's index-level interest
+// pruning (Lemma 8) has no power without it. This is the key calibration
+// invariant of the generators.
+func TestSyntheticHomophily(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipf} {
+		d, err := Synthetic(Config{
+			Seed: 3, RoadVertices: 1200, SocialUsers: 1200, POIs: 400, Dist: dist,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := d.Social.Homophily(interestSim(d))
+		if h < 0.2 {
+			t.Errorf("%v: homophily %v too weak for index pruning", dist, h)
+		}
+	}
+}
+
+func TestRealLikeHomophily(t *testing.T) {
+	d, err := RealLike(BrightkiteCalifornia(3, 0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.Social.Homophily(interestSim(d))
+	if h < 0.15 {
+		t.Errorf("real-like homophily %v too weak", h)
+	}
+}
+
+// Degree skew: the real-like generator must produce a power-law-ish tail
+// and keep most users in one giant component, like Brightkite/Gowalla.
+func TestRealLikeStructure(t *testing.T) {
+	d, err := RealLike(GowallaColorado(4, 0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := d.Social.LargestComponentFraction(); frac < 0.5 {
+		t.Errorf("largest component fraction %v too small", frac)
+	}
+	if maxDeg := d.Social.MaxDegree(); float64(maxDeg) < 3*d.Social.AvgDegree() {
+		t.Errorf("max degree %d vs mean %.1f: missing hub tail", maxDeg, d.Social.AvgDegree())
+	}
+}
+
+// Spatial keyword districts: POIs that are close must share more keywords
+// than far pairs, or the matching-score pruning has no power.
+func TestSyntheticKeywordDistricts(t *testing.T) {
+	d, err := Synthetic(Config{
+		Seed: 5, RoadVertices: 2000, SocialUsers: 500, POIs: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareKw := func(a, b *model.POI) bool {
+		for _, ka := range a.Keywords {
+			for _, kb := range b.Keywords {
+				if ka == kb {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	nearShared, nearTotal := 0, 0
+	farShared, farTotal := 0, 0
+	for i := 0; i+1 < len(d.POIs); i += 3 {
+		a := &d.POIs[i]
+		b := &d.POIs[i+1] // POIs are generated edge by edge: often nearby
+		if a.Loc.Dist(b.Loc) < 3 {
+			nearTotal++
+			if shareKw(a, b) {
+				nearShared++
+			}
+		}
+		c := &d.POIs[(i+len(d.POIs)/2)%len(d.POIs)]
+		if a.Loc.Dist(c.Loc) > 20 {
+			farTotal++
+			if shareKw(a, c) {
+				farShared++
+			}
+		}
+	}
+	if nearTotal == 0 || farTotal == 0 {
+		t.Skip("not enough near/far pairs in this layout")
+	}
+	nearRate := float64(nearShared) / float64(nearTotal)
+	farRate := float64(farShared) / float64(farTotal)
+	if nearRate <= farRate {
+		t.Errorf("near POIs share keywords at %.2f, far at %.2f: no districts", nearRate, farRate)
+	}
+}

@@ -1,0 +1,356 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gpssn/internal/geo"
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// RealLikeConfig describes a "real-like" dataset: a stand-in for the
+// paper's Bri+Cal and Gow+Col spatial-social networks with matched Table 2
+// statistics. The real Brightkite/Gowalla check-in dumps and the
+// California/Colorado road files are not available offline, so we generate
+// graphs with the same vertex counts, degree statistics (power-law social
+// degrees with the published mean; low-degree planar road networks), and
+// the same interest-vector construction the paper uses: each user's
+// interest in topic f is the fraction of their check-ins at POIs carrying
+// keyword f, and the home location is the centroid of their check-ins.
+type RealLikeConfig struct {
+	Name         string
+	Seed         int64
+	SocialUsers  int     // |V(G_s)|
+	SocialDeg    float64 // target mean degree (power-law distributed)
+	RoadVertices int     // |V(G_r)|
+	RoadDeg      float64 // target mean road degree
+	POIs         int     // POIs to place (check-in venues)
+	Topics       int     // keyword vocabulary size
+	MaxCheckins  int     // max check-ins per user (Zipf-distributed count)
+	Scale        float64 // multiplies user/vertex/POI counts; 0 means 1.0
+}
+
+// BrightkiteCalifornia returns the Bri+Cal configuration of Table 2:
+// 40K users with mean degree 10.3 over a 21K-vertex road network of mean
+// degree 2.1.
+func BrightkiteCalifornia(seed int64, scale float64) RealLikeConfig {
+	return RealLikeConfig{
+		Name:         "Bri+Cal",
+		Seed:         seed,
+		SocialUsers:  40000,
+		SocialDeg:    10.3,
+		RoadVertices: 21000,
+		RoadDeg:      2.1,
+		POIs:         10000,
+		Topics:       32,
+		MaxCheckins:  50,
+		Scale:        scale,
+	}
+}
+
+// GowallaColorado returns the Gow+Col configuration of Table 2: 40K users
+// with mean degree 32.1 over a 30K-vertex road network of mean degree 2.4.
+func GowallaColorado(seed int64, scale float64) RealLikeConfig {
+	return RealLikeConfig{
+		Name:         "Gow+Col",
+		Seed:         seed,
+		SocialUsers:  40000,
+		SocialDeg:    32.1,
+		RoadVertices: 30000,
+		RoadDeg:      2.4,
+		POIs:         10000,
+		Topics:       32,
+		MaxCheckins:  50,
+		Scale:        scale,
+	}
+}
+
+// RealLike generates a dataset from the config.
+func RealLike(cfg RealLikeConfig) (*model.Dataset, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("gen: negative scale %v", cfg.Scale)
+	}
+	scaleInt := func(n int) int {
+		v := int(math.Round(float64(n) * cfg.Scale))
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	users := scaleInt(cfg.SocialUsers)
+	verts := scaleInt(cfg.RoadVertices)
+	npois := scaleInt(cfg.POIs)
+	if cfg.Topics <= 0 {
+		cfg.Topics = 32
+	}
+	if cfg.MaxCheckins <= 0 {
+		cfg.MaxCheckins = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	road := genRoadNetwork(rng, verts)
+	trimRoadDegree(rng, road, cfg.RoadDeg, verts)
+
+	// POIs with Zipf keyword popularity (venue categories are skewed) and
+	// district-clustered keywords, like real city venues.
+	pc := Config{
+		Topics: cfg.Topics, MaxPOIsPerEdge: 5, MaxKeywordsPerPOI: 4,
+		Dist: Uniform, POIs: npois,
+	}.withDefaults()
+	pc.POIs = npois
+	districts := newDistrictMap(rng, road.Bounds(), pc)
+	pois := genPOIs(rng, road, districts, pc)
+
+	// Anchor venue per user, drawn first so both the friendship graph
+	// (locality-biased) and the check-in behaviour share it.
+	anchors := make([]int, users)
+	for i := range anchors {
+		anchors[i] = rng.Intn(len(pois))
+	}
+	social := genPowerLawSocial(rng, users, cfg.SocialDeg, pois, anchors, districts)
+
+	modelUsers := genCheckinUsers(rng, road, pois, anchors, cfg.Topics, cfg.MaxCheckins)
+
+	d := &model.Dataset{
+		Name:      cfg.Name,
+		Road:      road,
+		Social:    social,
+		Users:     modelUsers,
+		POIs:      pois,
+		NumTopics: cfg.Topics,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: real-like dataset invalid: %w", err)
+	}
+	return d, nil
+}
+
+// trimRoadDegree thins the road network to the target average degree while
+// preserving connectivity: a random spanning tree is kept and random extra
+// edges are retained up to the target edge count. This cannot go below the
+// spanning tree's ~2.0 average degree, matching real road networks.
+func trimRoadDegree(rng *rand.Rand, g *roadnet.Graph, targetDeg float64, _ int) {
+	if targetDeg <= 0 || g.AvgDegree() <= targetDeg {
+		return
+	}
+	n := g.NumVertices()
+	wantEdges := int(targetDeg * float64(n) / 2)
+	type edge struct{ u, v roadnet.VertexID }
+	all := make([]edge, g.NumEdges())
+	for i := range all {
+		e := g.EdgeAt(roadnet.EdgeID(i))
+		all[i] = edge{e.U, e.V}
+	}
+	// Union-find spanning forest.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	perm := rng.Perm(len(all))
+	var tree, extra []edge
+	for _, i := range perm {
+		e := all[i]
+		ru, rv := find(int(e.u)), find(int(e.v))
+		if ru != rv {
+			parent[ru] = rv
+			tree = append(tree, e)
+		} else {
+			extra = append(extra, e)
+		}
+	}
+	keepExtra := wantEdges - len(tree)
+	if keepExtra < 0 {
+		keepExtra = 0
+	}
+	if keepExtra > len(extra) {
+		keepExtra = len(extra)
+	}
+	// Reset the graph in place: build a fresh one and swap contents.
+	fresh := roadnet.NewGraph(n, len(tree)+keepExtra)
+	for v := 0; v < n; v++ {
+		fresh.AddVertex(g.Vertex(roadnet.VertexID(v)))
+	}
+	for _, e := range tree {
+		fresh.AddEdge(e.u, e.v)
+	}
+	for _, e := range extra[:keepExtra] {
+		fresh.AddEdge(e.u, e.v)
+	}
+	*g = *fresh
+}
+
+// genPowerLawSocial builds a friendship graph whose degree sequence is
+// power-law (configuration model with stub matching) scaled to the target
+// mean degree, like Brightkite/Gowalla. Stub matching is locality-biased:
+// stubs are sorted by their user's anchor-venue position with noise before
+// pairing, so friends tend to live near each other (and, since interests
+// derive from nearby check-ins, share interests) — the homophily real
+// location-based social networks exhibit.
+func genPowerLawSocial(rng *rand.Rand, n int, meanDeg float64, pois []model.POI, anchors []int, dm *districtMap) *socialnet.Graph {
+	const alpha = 2.5
+	raw := make([]float64, n)
+	sum := 0.0
+	for i := range raw {
+		// Pareto draw with xmin=1.
+		raw[i] = math.Pow(1-rng.Float64(), -1/(alpha-1))
+		if raw[i] > float64(n)/4 {
+			raw[i] = float64(n) / 4
+		}
+		sum += raw[i]
+	}
+	scale := meanDeg * float64(n) / sum
+	type stub struct {
+		u   socialnet.UserID
+		key float64
+	}
+	var stubs []stub
+	for i, r := range raw {
+		deg := int(math.Round(r * scale))
+		if deg < 1 {
+			deg = 1
+		}
+		// Locality key: the anchor venue's district cell, so most stub
+		// pairs land inside one district (friends share a neighbourhood
+		// and, through their check-ins, interests). 5% of stubs get a
+		// random key, giving the long-range friendships real networks
+		// have.
+		base := float64(dm.cellOf(pois[anchors[i]].Loc))
+		for k := 0; k < deg; k++ {
+			key := base + rng.Float64()
+			if rng.Float64() < 0.05 {
+				key = rng.Float64() * float64(len(dm.profiles))
+			}
+			stubs = append(stubs, stub{u: socialnet.UserID(i), key: key})
+		}
+	}
+	sort.Slice(stubs, func(i, j int) bool { return stubs[i].key < stubs[j].key })
+	g := socialnet.NewGraph(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddFriendship(stubs[i].u, stubs[i+1].u) // self-loops/dupes rejected
+	}
+	return g
+}
+
+// genCheckinUsers derives users from simulated check-in behaviour, the way
+// the paper builds interest vectors from Brightkite/Gowalla: each user
+// checks into POIs clustered around a personal anchor venue; the interest
+// in topic f is the fraction of check-ins at POIs carrying keyword f; the
+// home location is the centroid of the checked-in POIs snapped onto the
+// road network.
+func genCheckinUsers(rng *rand.Rand, road *roadnet.Graph, pois []model.POI, anchors []int, topics, maxCheckins int) []model.User {
+	n := len(anchors)
+	// Sort POIs by X for cheap locality sampling around an anchor.
+	order := make([]int, len(pois))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pois[order[a]].Loc.X < pois[order[b]].Loc.X })
+	pos := make([]int, len(pois)) // poi -> rank in order
+	for r, i := range order {
+		pos[i] = r
+	}
+
+	zipfN := rand.NewZipf(rng, 1.5, 1, uint64(maxCheckins-1))
+	users := make([]model.User, n)
+	for i := range users {
+		anchor := anchors[i]
+		count := 1 + int(zipfN.Uint64())
+		visits := make([]int, 0, count)
+		visits = append(visits, anchor)
+		for k := 1; k < count; k++ {
+			// Check-ins concentrate near the anchor's X-rank (a cheap
+			// locality proxy); occasional far venue.
+			var j int
+			if rng.Float64() < 0.95 {
+				span := len(pois)/100 + 1
+				r := pos[anchor] + rng.Intn(2*span+1) - span
+				if r < 0 {
+					r = 0
+				} else if r >= len(order) {
+					r = len(order) - 1
+				}
+				j = order[r]
+			} else {
+				j = rng.Intn(len(pois))
+			}
+			visits = append(visits, j)
+		}
+		// Interest vector: fraction of visits with each keyword.
+		w := make([]float64, topics)
+		var cx, cy float64
+		for _, v := range visits {
+			p := &pois[v]
+			for _, kw := range p.Keywords {
+				w[kw] += 1
+			}
+			cx += p.Loc.X
+			cy += p.Loc.Y
+		}
+		for f := range w {
+			w[f] /= float64(len(visits))
+			if w[f] > 1 {
+				w[f] = 1
+			}
+			// Noise floor: topics visited only incidentally carry no
+			// signal about the user's interests; dropping them keeps the
+			// index interest MBRs discriminative, the way the paper's
+			// topic-discovery preprocessing would.
+			if w[f] < 0.1 {
+				w[f] = 0
+			}
+		}
+		nonzero := false
+		for _, v := range w {
+			if v > 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			// Keep the most-visited topic even below the floor.
+			bestF, bestV := 0, -1.0
+			counts := make([]float64, topics)
+			for _, v2 := range visits {
+				for _, kw := range pois[v2].Keywords {
+					counts[kw]++
+				}
+			}
+			for f, cN := range counts {
+				if cN > bestV {
+					bestF, bestV = f, cN
+				}
+			}
+			w[bestF] = math.Min(1, bestV/float64(len(visits)))
+			if w[bestF] == 0 {
+				w[bestF] = 0.2
+			}
+		}
+		centroid := geo.Pt(cx/float64(len(visits)), cy/float64(len(visits)))
+		at, ok := road.SnapPoint(centroid)
+		if !ok {
+			panic("gen: road network has no edges")
+		}
+		users[i] = model.User{
+			ID:        socialnet.UserID(i),
+			At:        at,
+			Loc:       road.Location(at),
+			Interests: w,
+		}
+	}
+	return users
+}

@@ -1,0 +1,279 @@
+// Package geo provides the 2D geometric primitives used throughout the
+// GP-SSN system: points, axis-aligned rectangles (minimum bounding
+// rectangles), and the distance functions required by the R*-tree and the
+// pruning rules of the paper (Euclidean point/rect and rect/rect distances).
+//
+// All coordinates are float64 in an abstract planar coordinate system; the
+// road-network generator decides the units (the paper's radius parameter r
+// is expressed in the same units).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2D plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4f, %.4f)", p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison key in hot loops.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Lerp returns the point a fraction t of the way from p to q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Rect is an axis-aligned rectangle (an MBR). A Rect is valid when
+// Min.X <= Max.X and Min.Y <= Max.Y. The zero Rect is the empty rectangle
+// (see EmptyRect) only by convention; use EmptyRect to start accumulating
+// bounds.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect returns the identity element for Union: a rectangle that
+// contains nothing and unions with any rectangle to yield that rectangle.
+func EmptyRect() Rect {
+	inf := math.Inf(1)
+	return Rect{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// RectOf returns the MBR of a set of points. It returns EmptyRect when
+// called with no points.
+func RectOf(pts ...Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// RectFromPoint returns the degenerate rectangle covering exactly p.
+func RectFromPoint(p Point) Rect { return Rect{Min: p, Max: p} }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Min, r.Max)
+}
+
+// IsEmpty reports whether r contains no points.
+func (r Rect) IsEmpty() bool {
+	return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y
+}
+
+// Valid reports whether r is a well-formed (possibly degenerate, non-empty)
+// rectangle.
+func (r Rect) Valid() bool {
+	return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y &&
+		!math.IsNaN(r.Min.X) && !math.IsNaN(r.Min.Y) &&
+		!math.IsNaN(r.Max.X) && !math.IsNaN(r.Max.Y)
+}
+
+// Width returns the extent of r along the X axis.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the extent of r along the Y axis.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r. Empty rectangles have zero area.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Margin returns half the perimeter of r (the R*-tree "margin" metric).
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Width() + r.Height()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of r.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return r.ContainsPoint(s.Min) && r.ContainsPoint(s.Max)
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Intersection returns the overlapping region of r and s, which is empty
+// when they do not intersect.
+func (r Rect) Intersection(s Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// OverlapArea returns the area of the intersection of r and s.
+func (r Rect) OverlapArea(s Rect) float64 { return r.Intersection(s).Area() }
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// ExtendPoint returns the smallest rectangle containing r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return r.Union(RectFromPoint(p))
+}
+
+// Enlargement returns the increase in area required for r to absorb s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// MinDistPoint returns the minimum Euclidean distance from p to any point
+// of r (zero when p is inside r). This is the classic MINDIST metric used
+// for R-tree best-first search.
+func (r Rect) MinDistPoint(p Point) float64 {
+	return math.Sqrt(r.MinDist2Point(p))
+}
+
+// MinDist2Point returns the squared MINDIST from p to r.
+func (r Rect) MinDist2Point(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := axisDist(p.X, r.Min.X, r.Max.X)
+	dy := axisDist(p.Y, r.Min.Y, r.Max.Y)
+	return dx*dx + dy*dy
+}
+
+// MaxDistPoint returns the maximum Euclidean distance from p to any point
+// of r (the MAXDIST metric, attained at a corner).
+func (r Rect) MaxDistPoint(p Point) float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	dx := math.Max(math.Abs(p.X-r.Min.X), math.Abs(p.X-r.Max.X))
+	dy := math.Max(math.Abs(p.Y-r.Min.Y), math.Abs(p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// MinDistRect returns the minimum Euclidean distance between any point of r
+// and any point of s (zero when they intersect). This is the
+// mindist(e_Ri, e_Rj) used by Lemma 7 of the paper.
+func (r Rect) MinDistRect(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := gapDist(r.Min.X, r.Max.X, s.Min.X, s.Max.X)
+	dy := gapDist(r.Min.Y, r.Max.Y, s.Min.Y, s.Max.Y)
+	return math.Hypot(dx, dy)
+}
+
+// MaxDistRect returns the maximum Euclidean distance between any point of r
+// and any point of s.
+func (r Rect) MaxDistRect(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return 0
+	}
+	dx := math.Max(math.Abs(r.Max.X-s.Min.X), math.Abs(s.Max.X-r.Min.X))
+	dy := math.Max(math.Abs(r.Max.Y-s.Min.Y), math.Abs(s.Max.Y-r.Min.Y))
+	return math.Hypot(dx, dy)
+}
+
+// Expand returns r grown by d on every side. A negative d shrinks r and may
+// produce an empty rectangle.
+func (r Rect) Expand(d float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	out := Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// axisDist returns the distance from coordinate v to the interval [lo, hi].
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// gapDist returns the gap between intervals [a0,a1] and [b0,b1] (zero when
+// they overlap).
+func gapDist(a0, a1, b0, b1 float64) float64 {
+	switch {
+	case a1 < b0:
+		return b0 - a1
+	case b1 < a0:
+		return a0 - b1
+	default:
+		return 0
+	}
+}

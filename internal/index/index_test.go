@@ -1,0 +1,369 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"gpssn/internal/gen"
+	"gpssn/internal/model"
+	"gpssn/internal/pivot"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/rtree"
+	"gpssn/internal/socialnet"
+	"gpssn/internal/topics"
+)
+
+// testDataset caches a small synthetic dataset for the package's tests.
+var testDS *model.Dataset
+
+func dataset(t testing.TB) *model.Dataset {
+	t.Helper()
+	if testDS == nil {
+		d, err := gen.Synthetic(gen.Config{
+			Name: "idx-test", Seed: 42,
+			RoadVertices: 500, SocialUsers: 400, POIs: 300, Topics: 8,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		testDS = d
+	}
+	return testDS
+}
+
+func buildRoad(t testing.TB, ds *model.Dataset) *RoadIndex {
+	t.Helper()
+	pivots := pivot.RandomRoad(ds.Road, 4, 7)
+	ix, err := BuildRoad(ds, RoadConfig{Pivots: pivots, RMin: 0.5, RMax: 4})
+	if err != nil {
+		t.Fatalf("BuildRoad: %v", err)
+	}
+	return ix
+}
+
+func buildSocial(t testing.TB, ds *model.Dataset, road *RoadIndex) *SocialIndex {
+	t.Helper()
+	sp := pivot.RandomSocial(ds.Social, 4, 8)
+	ix, err := BuildSocial(ds, SocialConfig{
+		RoadPivots: road.Pivots, SocialPivots: sp, LeafSize: 32, Fanout: 4,
+	})
+	if err != nil {
+		t.Fatalf("BuildSocial: %v", err)
+	}
+	return ix
+}
+
+func TestBuildRoadRejectsBadConfig(t *testing.T) {
+	ds := dataset(t)
+	if _, err := BuildRoad(ds, RoadConfig{RMin: 1, RMax: 2}); err == nil {
+		t.Error("no pivots should fail")
+	}
+	p := pivot.RandomRoad(ds.Road, 2, 1)
+	if _, err := BuildRoad(ds, RoadConfig{Pivots: p, RMin: 0, RMax: 2}); err == nil {
+		t.Error("RMin=0 should fail")
+	}
+	if _, err := BuildRoad(ds, RoadConfig{Pivots: p, RMin: 3, RMax: 2}); err == nil {
+		t.Error("RMin>RMax should fail")
+	}
+}
+
+func TestRoadIndexNodeBoundsSound(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	h := ix.Pivots.NumPivots()
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		m := ix.Meta(n)
+		// Node bounds must bracket every member POI's pivot distances, and
+		// the node Sup must contain every member's sup keywords.
+		var check func(nn *rtree.Node)
+		check = func(nn *rtree.Node) {
+			if nn.IsLeaf() {
+				for _, e := range nn.Entries() {
+					id := model.POIID(e.ID)
+					for k := 0; k < h; k++ {
+						dk := ix.POIDist(id)[k]
+						if dk < m.LbDist[k]-1e-9 || dk > m.UbDist[k]+1e-9 {
+							t.Fatalf("POI %d dist %v outside node bounds [%v,%v]",
+								id, dk, m.LbDist[k], m.UbDist[k])
+						}
+					}
+					for f := 0; f < ds.NumTopics; f++ {
+						if ix.POISup(id).Has(f) && !m.Sup.Has(f) {
+							t.Fatalf("node Sup missing topic %d of POI %d", f, id)
+						}
+						if ix.POISup(id).Has(f) && !m.SupVec.TestKeyword(f) {
+							t.Fatalf("node SupVec missing topic %d", f)
+						}
+					}
+				}
+				return
+			}
+			for _, e := range nn.Entries() {
+				check(e.Child)
+			}
+		}
+		check(n)
+		if !n.IsLeaf() {
+			for _, e := range n.Entries() {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(ix.Tree.Root())
+}
+
+func TestRoadIndexPOICount(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	if got := ix.Meta(ix.Tree.Root()).POICount; got != len(ds.POIs) {
+		t.Errorf("root POICount = %d, want %d", got, len(ds.POIs))
+	}
+}
+
+func TestRoadIndexSupIsSupersetOfBall(t *testing.T) {
+	// For a sample of POIs: every keyword of every POI within road distance
+	// 2*RMax must appear in sup_K (soundness of the Euclidean
+	// over-approximation).
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	for i := 0; i < len(ds.POIs); i += 37 {
+		p := &ds.POIs[i]
+		atts := make([]roadnet.Attach, len(ds.POIs))
+		for j := range ds.POIs {
+			atts[j] = ds.POIs[j].At
+		}
+		dists := ds.Road.DistAttachWithin(p.At, 2*ix.RMax, atts)
+		for j := range ds.POIs {
+			if math.IsInf(dists[j], 1) {
+				continue
+			}
+			for _, k := range ds.POIs[j].Keywords {
+				if !ix.POISup(model.POIID(i)).Has(k) {
+					t.Fatalf("POI %d sup missing keyword %d of in-ball POI %d", i, k, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRoadIndexSubIsSubsetOfBall(t *testing.T) {
+	// sub_K must only contain keywords of POIs truly within RMin (soundness
+	// of the lower bound).
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	for i := 0; i < len(ds.POIs); i += 31 {
+		p := &ds.POIs[i]
+		atts := make([]roadnet.Attach, len(ds.POIs))
+		for j := range ds.POIs {
+			atts[j] = ds.POIs[j].At
+		}
+		dists := ds.Road.DistAttachWithin(p.At, ix.RMin, atts)
+		ball := topics.NewSet(ds.NumTopics)
+		for j := range ds.POIs {
+			if !math.IsInf(dists[j], 1) {
+				for _, k := range ds.POIs[j].Keywords {
+					ball.Add(k)
+				}
+			}
+		}
+		for f := 0; f < ds.NumTopics; f++ {
+			if ix.POISub(model.POIID(i), ix.RMin).Has(f) && !ball.Has(f) {
+				t.Fatalf("POI %d sub has keyword %d not in its RMin ball", i, f)
+			}
+		}
+	}
+}
+
+func TestRoadIndexAccessCountsIO(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	ix.Store.ResetStats()
+	ix.Store.DropPool()
+	ix.Access(ix.Tree.Root())
+	if ix.Store.Reads() == 0 {
+		t.Error("accessing the root should cost at least one page read")
+	}
+	ix.Store.ResetStats()
+	ix.Access(ix.Tree.Root())
+	if ix.Store.Reads() != 0 {
+		t.Error("second access should hit the warm pool")
+	}
+}
+
+func TestRoadIndexMetaForeignNodePanics(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	other := rtree.New(rtree.Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign node should panic")
+		}
+	}()
+	ix.Meta(other.Root())
+}
+
+func TestBuildSocialRejectsBadConfig(t *testing.T) {
+	ds := dataset(t)
+	road := buildRoad(t, ds)
+	if _, err := BuildSocial(ds, SocialConfig{SocialPivots: []socialnet.UserID{0}}); err == nil {
+		t.Error("missing road pivots should fail")
+	}
+	if _, err := BuildSocial(ds, SocialConfig{RoadPivots: road.Pivots}); err == nil {
+		t.Error("missing social pivots should fail")
+	}
+}
+
+func TestSocialIndexCoversAllUsers(t *testing.T) {
+	ds := dataset(t)
+	road := buildRoad(t, ds)
+	ix := buildSocial(t, ds, road)
+	if ix.Root.UserCount != ds.Social.NumUsers() {
+		t.Errorf("root UserCount = %d, want %d", ix.Root.UserCount, ds.Social.NumUsers())
+	}
+	seen := map[socialnet.UserID]bool{}
+	var walk func(n *SNode)
+	walk = func(n *SNode) {
+		if n.IsLeaf() {
+			for _, u := range n.Users {
+				if seen[u] {
+					t.Fatalf("user %d appears in two leaves", u)
+				}
+				seen[u] = true
+			}
+			return
+		}
+		for _, c := range n.Children {
+			if c.Level != n.Level-1 {
+				t.Fatalf("child level %d under level %d", c.Level, n.Level)
+			}
+			walk(c)
+		}
+	}
+	walk(ix.Root)
+	if len(seen) != ds.Social.NumUsers() {
+		t.Errorf("leaves cover %d users, want %d", len(seen), ds.Social.NumUsers())
+	}
+}
+
+func TestSocialIndexAggregatesSound(t *testing.T) {
+	ds := dataset(t)
+	road := buildRoad(t, ds)
+	ix := buildSocial(t, ds, road)
+	l := ix.HopPivots.NumPivots()
+	h := ix.RoadPivots.NumPivots()
+	var walk func(n *SNode)
+	walk = func(n *SNode) {
+		var users []socialnet.UserID
+		var collect func(nn *SNode)
+		collect = func(nn *SNode) {
+			users = append(users, nn.Users...)
+			for _, c := range nn.Children {
+				collect(c)
+			}
+		}
+		collect(n)
+		for _, u := range users {
+			w := ds.Users[u].Interests
+			for f := range w {
+				if w[f] < n.LbW[f]-1e-12 || w[f] > n.UbW[f]+1e-12 {
+					t.Fatalf("user %d interest %d = %v outside [%v,%v]", u, f, w[f], n.LbW[f], n.UbW[f])
+				}
+			}
+			for k := 0; k < l; k++ {
+				hop := ix.UserHops(u)[k]
+				if hop == socialnet.Unreachable {
+					if n.UbHop[k] != socialnet.Unreachable {
+						t.Fatalf("node misses ∞ hop marker for pivot %d", k)
+					}
+					continue
+				}
+				if hop < n.LbHop[k] {
+					t.Fatalf("user %d hop %d < node lb %d", u, hop, n.LbHop[k])
+				}
+				if n.UbHop[k] != socialnet.Unreachable && hop > n.UbHop[k] {
+					t.Fatalf("user %d hop %d > node ub %d", u, hop, n.UbHop[k])
+				}
+			}
+			for k := 0; k < h; k++ {
+				rd := ix.UserRoadDist(u)[k]
+				if rd < n.LbRD[k]-1e-9 || rd > n.UbRD[k]+1e-9 {
+					t.Fatalf("user %d road dist %v outside [%v,%v]", u, rd, n.LbRD[k], n.UbRD[k])
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(ix.Root)
+}
+
+func TestHopLowerBoundToNodeSound(t *testing.T) {
+	ds := dataset(t)
+	road := buildRoad(t, ds)
+	ix := buildSocial(t, ds, road)
+	// For a handful of query users, the node lower bound must never exceed
+	// the true minimum hop distance to any user under the node.
+	for _, q := range []socialnet.UserID{0, 17, 101, 399} {
+		trueHops := ds.Social.BFSHops(q)
+		qh := ix.UserHops(q)
+		var walk func(n *SNode)
+		walk = func(n *SNode) {
+			lb, informative := ix.HopLowerBoundToNode(qh, n)
+			if informative {
+				// min true hop distance over users under node.
+				minHop := int32(math.MaxInt32)
+				var collect func(nn *SNode)
+				collect = func(nn *SNode) {
+					for _, u := range nn.Users {
+						if th := trueHops[u]; th != socialnet.Unreachable && th < minHop {
+							minHop = th
+						}
+					}
+					for _, c := range nn.Children {
+						collect(c)
+					}
+				}
+				collect(n)
+				if lb != math.MaxInt32 && minHop != math.MaxInt32 && lb > minHop {
+					t.Fatalf("q=%d: node lb %d > true min hop %d", q, lb, minHop)
+				}
+				if lb == math.MaxInt32 && minHop != math.MaxInt32 {
+					t.Fatalf("q=%d: node claimed unreachable but min hop %d", q, minHop)
+				}
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(ix.Root)
+	}
+}
+
+func TestSocialIndexHeight(t *testing.T) {
+	ds := dataset(t)
+	road := buildRoad(t, ds)
+	ix := buildSocial(t, ds, road)
+	if ix.Height() < 2 {
+		t.Errorf("Height = %d; 400 users at leaf 32 should give multiple levels", ix.Height())
+	}
+	if ix.Root.Level != ix.Height()-1 {
+		t.Errorf("root level %d inconsistent with height %d", ix.Root.Level, ix.Height())
+	}
+}
+
+func TestSocialIndexIOAccounting(t *testing.T) {
+	ds := dataset(t)
+	road := buildRoad(t, ds)
+	ix := buildSocial(t, ds, road)
+	ix.Store.ResetStats()
+	ix.Store.DropPool()
+	ix.Access(ix.Root)
+	for _, c := range ix.Root.Children {
+		ix.Access(c)
+	}
+	if ix.Store.Reads() == 0 {
+		t.Error("cold traversal should cost page reads")
+	}
+}

@@ -1,0 +1,77 @@
+package index
+
+import (
+	"testing"
+
+	"gpssn/internal/model"
+)
+
+// sub_K levels must be nested: a larger radius level contains every
+// keyword of a smaller one (monotonicity of the ball union, Lemma 2's
+// engine-side counterpart).
+func TestPOISubLevelsNested(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	radii := ix.SubRadii()
+	if len(radii) < 2 {
+		t.Fatalf("expected multiple sub levels for [%v, %v], got %v", ix.RMin, ix.RMax, radii)
+	}
+	for i := 1; i < len(radii); i++ {
+		if radii[i] <= radii[i-1] {
+			t.Fatalf("radii not increasing: %v", radii)
+		}
+	}
+	for i := 0; i < len(ds.POIs); i += 17 {
+		id := model.POIID(i)
+		for li := 1; li < len(radii); li++ {
+			small := ix.POISub(id, radii[li-1])
+			big := ix.POISub(id, radii[li])
+			for f := 0; f < ds.NumTopics; f++ {
+				if small.Has(f) && !big.Has(f) {
+					t.Fatalf("POI %d: sub(%v) has topic %d missing from sub(%v)",
+						id, radii[li-1], f, radii[li])
+				}
+			}
+		}
+	}
+}
+
+// POISub must select the largest stored level not exceeding the query
+// radius.
+func TestPOISubLevelSelection(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	radii := ix.SubRadii() // 0.5, 1, 2, 4 with the test config
+	id := model.POIID(0)
+	// A radius between two levels picks the lower one.
+	mid := (radii[0] + radii[1]) / 2
+	got := ix.POISub(id, mid)
+	want := ix.POISub(id, radii[0])
+	for f := 0; f < ds.NumTopics; f++ {
+		if got.Has(f) != want.Has(f) {
+			t.Fatalf("POISub(%v) != level-%v set at topic %d", mid, radii[0], f)
+		}
+	}
+	// Exactly at a level picks that level.
+	got = ix.POISub(id, radii[1])
+	want = ix.poiSub[id][1]
+	for f := 0; f < ds.NumTopics; f++ {
+		if got.Has(f) != want.Has(f) {
+			t.Fatalf("POISub at exact level differs at topic %d", f)
+		}
+	}
+}
+
+// The anchor POI's own keywords are always in every sub level (distance 0).
+func TestPOISubContainsOwnKeywords(t *testing.T) {
+	ds := dataset(t)
+	ix := buildRoad(t, ds)
+	for i := 0; i < len(ds.POIs); i += 23 {
+		sub := ix.POISub(model.POIID(i), ix.RMin)
+		for _, k := range ds.POIs[i].Keywords {
+			if !sub.Has(k) {
+				t.Fatalf("POI %d sub missing its own keyword %d", i, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodCSV returns a minimal valid CSV input set.
+func goodCSV() CSVInput {
+	return CSVInput{
+		Name: "csvtest",
+		RoadVertices: strings.NewReader(`# id,x,y
+0,0,0
+1,1,0
+2,1,1
+3,0,1`),
+		RoadEdges: strings.NewReader(`0,1
+1,2
+2,3
+3,0`),
+		SocialEdges: strings.NewReader(`0,1
+1,2`),
+		Users: strings.NewReader(`0,0.1,0.0,0.9,0.1
+1,0.9,0.0,0.8,0.2
+2,0.5,1.0,0.1,0.9`),
+		POIs: strings.NewReader(`0,0.5,0.0,0
+1,0.5,1.0,0;1`),
+	}
+}
+
+func TestLoadCSVGood(t *testing.T) {
+	ds, err := LoadCSV(goodCSV())
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if ds.Name != "csvtest" {
+		t.Errorf("Name = %q", ds.Name)
+	}
+	if ds.Road.NumVertices() != 4 || ds.Road.NumEdges() != 4 {
+		t.Errorf("road %d/%d", ds.Road.NumVertices(), ds.Road.NumEdges())
+	}
+	if ds.Social.NumUsers() != 3 || ds.Social.NumFriendships() != 2 {
+		t.Errorf("social %d/%d", ds.Social.NumUsers(), ds.Social.NumFriendships())
+	}
+	if ds.NumTopics != 2 {
+		t.Errorf("NumTopics = %d", ds.NumTopics)
+	}
+	if len(ds.POIs) != 2 || len(ds.POIs[1].Keywords) != 2 {
+		t.Errorf("POIs wrong: %+v", ds.POIs)
+	}
+	// Users snapped onto the road.
+	for i, u := range ds.Users {
+		if got := ds.Road.Location(u.At); got.Dist(u.Loc) > 1e-9 {
+			t.Errorf("user %d not snapped consistently", i)
+		}
+	}
+}
+
+func TestLoadCSVDuplicateRoadEdgesIgnored(t *testing.T) {
+	in := goodCSV()
+	in.RoadEdges = strings.NewReader("0,1\n1,0\n0,1\n1,2\n2,3\n3,0")
+	ds, err := LoadCSV(in)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if ds.Road.NumEdges() != 4 {
+		t.Errorf("duplicate edges not deduped: %d", ds.Road.NumEdges())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]func(*CSVInput){
+		"missing readers": func(in *CSVInput) { in.RoadVertices = nil },
+		"bad vertex row":  func(in *CSVInput) { in.RoadVertices = strings.NewReader("0,0") },
+		"bad vertex num":  func(in *CSVInput) { in.RoadVertices = strings.NewReader("0,x,0") },
+		"dup vertex":      func(in *CSVInput) { in.RoadVertices = strings.NewReader("0,0,0\n0,1,1") },
+		"gap vertex ids":  func(in *CSVInput) { in.RoadVertices = strings.NewReader("0,0,0\n2,1,1") },
+		"edge to missing": func(in *CSVInput) { in.RoadEdges = strings.NewReader("0,9") },
+		"edge self loop":  func(in *CSVInput) { in.RoadEdges = strings.NewReader("1,1") },
+		"edge bad ids":    func(in *CSVInput) { in.RoadEdges = strings.NewReader("a,b") },
+		"no road edges":   func(in *CSVInput) { in.RoadEdges = strings.NewReader("# nothing") },
+		"no users":        func(in *CSVInput) { in.Users = strings.NewReader("# nothing") },
+		"short user row":  func(in *CSVInput) { in.Users = strings.NewReader("0,1,1") },
+		"user id gap":     func(in *CSVInput) { in.Users = strings.NewReader("5,0,0,0.5,0.5") },
+		"dup user":        func(in *CSVInput) { in.Users = strings.NewReader("0,0,0,0.5,0.5\n0,1,1,0.5,0.5") },
+		"bad interest":    func(in *CSVInput) { in.Users = strings.NewReader("0,0,0,x,0.5") },
+		"interest > 1":    func(in *CSVInput) { in.Users = strings.NewReader("0,0,0,2.0,0.5") },
+		"social missing":  func(in *CSVInput) { in.SocialEdges = strings.NewReader("0,99") },
+		"no POIs":         func(in *CSVInput) { in.POIs = strings.NewReader("# nothing") },
+		"bad POI kw":      func(in *CSVInput) { in.POIs = strings.NewReader("0,0,0,x") },
+		"POI kw too big":  func(in *CSVInput) { in.POIs = strings.NewReader("0,0,0,9") },
+		"dup POI":         func(in *CSVInput) { in.POIs = strings.NewReader("0,0,0,0\n0,1,1,1") },
+		"POI no keywords": func(in *CSVInput) { in.POIs = strings.NewReader("0,0,0,;") },
+	}
+	for name, corrupt := range cases {
+		in := goodCSV()
+		corrupt(&in)
+		if _, err := LoadCSV(in); err == nil {
+			t.Errorf("%s: LoadCSV should fail", name)
+		}
+	}
+}
+
+func TestLoadCSVNoSocialEdgesReader(t *testing.T) {
+	in := goodCSV()
+	in.SocialEdges = nil // optional: a network with no friendships
+	ds, err := LoadCSV(in)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if ds.Social.NumFriendships() != 0 {
+		t.Error("expected no friendships")
+	}
+}
+
+func TestLoadCSVDefaultName(t *testing.T) {
+	in := goodCSV()
+	in.Name = ""
+	ds, err := LoadCSV(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "csv-import" {
+		t.Errorf("Name = %q", ds.Name)
+	}
+}

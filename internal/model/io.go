@@ -1,0 +1,253 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"gpssn/internal/geo"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// magic identifies the dataset file format; the trailing byte is a format
+// version so future layouts can coexist.
+var magic = [8]byte{'G', 'P', 'S', 'S', 'N', 'D', 'S', 1}
+
+// Save writes the dataset in the library's binary format. The format is
+// self-contained (graph topology, users, POIs) and deterministic: saving
+// the same dataset twice yields identical bytes.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("model: refusing to save invalid dataset: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	e := &binWriter{w: bw}
+
+	e.bytes(magic[:])
+	e.str(d.Name)
+	e.u32(uint32(d.NumTopics))
+
+	// Road network.
+	e.u32(uint32(d.Road.NumVertices()))
+	for v := 0; v < d.Road.NumVertices(); v++ {
+		p := d.Road.Vertex(roadnet.VertexID(v))
+		e.f64(p.X)
+		e.f64(p.Y)
+	}
+	e.u32(uint32(d.Road.NumEdges()))
+	for i := 0; i < d.Road.NumEdges(); i++ {
+		edge := d.Road.EdgeAt(roadnet.EdgeID(i))
+		e.u32(uint32(edge.U))
+		e.u32(uint32(edge.V))
+	}
+
+	// Social network: each undirected edge once (u < v).
+	e.u32(uint32(d.Social.NumUsers()))
+	e.u32(uint32(d.Social.NumFriendships()))
+	written := 0
+	for u := 0; u < d.Social.NumUsers(); u++ {
+		for _, v := range d.Social.Friends(socialnet.UserID(u)) {
+			if socialnet.UserID(u) < v {
+				e.u32(uint32(u))
+				e.u32(uint32(v))
+				written++
+			}
+		}
+	}
+	if written != d.Social.NumFriendships() {
+		return fmt.Errorf("model: wrote %d friendships, expected %d", written, d.Social.NumFriendships())
+	}
+
+	// Users.
+	for i := range d.Users {
+		u := &d.Users[i]
+		e.u32(uint32(u.At.Edge))
+		e.f64(u.At.T)
+		e.f64(u.Loc.X)
+		e.f64(u.Loc.Y)
+		for _, p := range u.Interests {
+			e.f64(p)
+		}
+	}
+
+	// POIs.
+	e.u32(uint32(len(d.POIs)))
+	for i := range d.POIs {
+		p := &d.POIs[i]
+		e.u32(uint32(p.At.Edge))
+		e.f64(p.At.T)
+		e.f64(p.Loc.X)
+		e.f64(p.Loc.Y)
+		e.u32(uint32(len(p.Keywords)))
+		for _, k := range p.Keywords {
+			e.u32(uint32(k))
+		}
+	}
+
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save and validates it.
+func Load(r io.Reader) (*Dataset, error) {
+	dec := &binReader{r: bufio.NewReader(r)}
+
+	var got [8]byte
+	dec.bytes(got[:])
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if got != magic {
+		return nil, fmt.Errorf("model: bad magic %q (not a GP-SSN dataset or wrong version)", got)
+	}
+
+	d := &Dataset{}
+	d.Name = dec.str()
+	d.NumTopics = int(dec.u32())
+
+	nv := int(dec.u32())
+	d.Road = roadnet.NewGraph(nv, nv*2)
+	for i := 0; i < nv; i++ {
+		x, y := dec.f64(), dec.f64()
+		d.Road.AddVertex(geo.Pt(x, y))
+	}
+	ne := int(dec.u32())
+	for i := 0; i < ne; i++ {
+		u, v := dec.u32(), dec.u32()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if int(u) >= nv || int(v) >= nv {
+			return nil, fmt.Errorf("model: edge %d references vertex out of range", i)
+		}
+		d.Road.AddEdge(roadnet.VertexID(u), roadnet.VertexID(v))
+	}
+
+	nu := int(dec.u32())
+	nf := int(dec.u32())
+	d.Social = socialnet.NewGraph(nu)
+	for i := 0; i < nf; i++ {
+		u, v := dec.u32(), dec.u32()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if int(u) >= nu || int(v) >= nu {
+			return nil, fmt.Errorf("model: friendship %d references user out of range", i)
+		}
+		d.Social.AddFriendship(socialnet.UserID(u), socialnet.UserID(v))
+	}
+
+	d.Users = make([]User, nu)
+	for i := 0; i < nu; i++ {
+		u := &d.Users[i]
+		u.ID = socialnet.UserID(i)
+		u.At = roadnet.Attach{Edge: roadnet.EdgeID(dec.u32()), T: dec.f64()}
+		u.Loc = geo.Pt(dec.f64(), dec.f64())
+		u.Interests = make([]float64, d.NumTopics)
+		for f := range u.Interests {
+			u.Interests[f] = dec.f64()
+		}
+	}
+
+	np := int(dec.u32())
+	d.POIs = make([]POI, np)
+	for i := 0; i < np; i++ {
+		p := &d.POIs[i]
+		p.ID = POIID(i)
+		p.At = roadnet.Attach{Edge: roadnet.EdgeID(dec.u32()), T: dec.f64()}
+		p.Loc = geo.Pt(dec.f64(), dec.f64())
+		nk := int(dec.u32())
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if nk < 0 || nk > 1<<20 {
+			return nil, fmt.Errorf("model: POI %d has implausible keyword count %d", i, nk)
+		}
+		p.Keywords = make([]int, nk)
+		for k := range p.Keywords {
+			p.Keywords[k] = int(dec.u32())
+		}
+	}
+
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("model: loaded dataset invalid: %w", err)
+	}
+	return d, nil
+}
+
+// binWriter accumulates the first write error and turns subsequent writes
+// into no-ops, so Save reads as straight-line code.
+type binWriter struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *binWriter) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *binWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.bytes(e.buf[:4])
+}
+
+func (e *binWriter) f64(v float64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], math.Float64bits(v))
+	e.bytes(e.buf[:8])
+}
+
+func (e *binWriter) str(s string) {
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+type binReader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (d *binReader) bytes(b []byte) {
+	if d.err != nil {
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	_, d.err = io.ReadFull(d.r, b)
+}
+
+func (d *binReader) u32() uint32 {
+	d.bytes(d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *binReader) f64() float64 {
+	d.bytes(d.buf[:8])
+	return math.Float64frombits(binary.LittleEndian.Uint64(d.buf[:8]))
+}
+
+func (d *binReader) str() string {
+	n := d.u32()
+	if d.err != nil || n > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("model: implausible string length %d", n)
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}

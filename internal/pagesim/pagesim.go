@@ -1,0 +1,210 @@
+// Package pagesim simulates a disk page store with an LRU buffer pool. The
+// paper reports query cost as the number of page accesses during index
+// traversal; the GP-SSN indexes register each node here with its byte size,
+// nodes are packed onto fixed-size pages, and every node access is charged
+// the page reads that miss the buffer pool. This reproduces the I/O metric
+// without a real disk.
+package pagesim
+
+import "fmt"
+
+// PageID identifies a simulated disk page.
+type PageID int32
+
+// ObjectID identifies a stored object (an index node). Callers allocate
+// their own ids; ids must be unique within a Store.
+type ObjectID int64
+
+// Store is a simulated paged object store. The zero value is unusable;
+// create stores with NewStore.
+type Store struct {
+	pageSize  int
+	pool      *lruPool
+	placement map[ObjectID][]PageID
+	nextPage  PageID
+	pageUsed  int // bytes used on the current (open) page
+	reads     int64
+	accesses  int64
+}
+
+// NewStore returns a store with the given page size in bytes and buffer
+// pool capacity in pages. poolPages = 0 disables caching (every access is
+// charged).
+func NewStore(pageSize, poolPages int) *Store {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("pagesim: non-positive page size %d", pageSize))
+	}
+	if poolPages < 0 {
+		panic(fmt.Sprintf("pagesim: negative pool size %d", poolPages))
+	}
+	return &Store{
+		pageSize:  pageSize,
+		pool:      newLRUPool(poolPages),
+		placement: make(map[ObjectID][]PageID),
+	}
+}
+
+// PageSize returns the configured page size.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// NumPages returns the number of pages allocated so far.
+func (s *Store) NumPages() int {
+	n := int(s.nextPage)
+	if s.pageUsed > 0 {
+		n++
+	}
+	return n
+}
+
+// Place registers an object of the given byte size, packing it onto disk
+// pages. Small objects share pages (sequential packing, as in a real index
+// file); objects larger than a page span multiple pages. Placing the same
+// id twice panics.
+func (s *Store) Place(id ObjectID, size int) {
+	if size <= 0 {
+		panic(fmt.Sprintf("pagesim: non-positive object size %d", size))
+	}
+	if _, dup := s.placement[id]; dup {
+		panic(fmt.Sprintf("pagesim: object %d placed twice", id))
+	}
+	var pages []PageID
+	remaining := size
+	// If the object does not fit in the remainder of the open page, start a
+	// fresh page (index nodes are never split across a page boundary unless
+	// they exceed a full page).
+	if s.pageUsed > 0 && remaining > s.pageSize-s.pageUsed {
+		s.nextPage++
+		s.pageUsed = 0
+	}
+	for remaining > 0 {
+		pages = append(pages, s.nextPage)
+		room := s.pageSize - s.pageUsed
+		if remaining <= room {
+			s.pageUsed += remaining
+			remaining = 0
+			if s.pageUsed == s.pageSize {
+				s.nextPage++
+				s.pageUsed = 0
+			}
+		} else {
+			remaining -= room
+			s.nextPage++
+			s.pageUsed = 0
+		}
+	}
+	s.placement[id] = pages
+}
+
+// Access simulates reading the object: each of its pages is fetched
+// through the buffer pool, and misses are charged as page reads. Accessing
+// an unplaced object panics — that is a bookkeeping bug in the index.
+func (s *Store) Access(id ObjectID) {
+	pages, ok := s.placement[id]
+	if !ok {
+		panic(fmt.Sprintf("pagesim: access to unplaced object %d", id))
+	}
+	s.accesses++
+	for _, p := range pages {
+		if !s.pool.touch(p) {
+			s.reads++
+		}
+	}
+}
+
+// Reads returns the number of page reads (buffer pool misses) since the
+// last ResetStats.
+func (s *Store) Reads() int64 { return s.reads }
+
+// Accesses returns the number of object accesses since the last ResetStats.
+func (s *Store) Accesses() int64 { return s.accesses }
+
+// ResetStats zeroes the read and access counters. The buffer pool contents
+// are kept (a warm pool across queries, like a real database); call
+// DropPool for a cold-cache measurement.
+func (s *Store) ResetStats() {
+	s.reads = 0
+	s.accesses = 0
+}
+
+// DropPool empties the buffer pool so the next accesses hit "disk".
+func (s *Store) DropPool() { s.pool.reset() }
+
+// PagesOf returns the pages assigned to an object (nil if unplaced).
+func (s *Store) PagesOf(id ObjectID) []PageID { return s.placement[id] }
+
+// lruPool is a fixed-capacity LRU set of pages, hand-rolled with an
+// intrusive doubly-linked list over a slice to avoid per-touch allocations.
+type lruPool struct {
+	cap   int
+	nodes map[PageID]*lruNode
+	head  *lruNode // most recently used
+	tail  *lruNode // least recently used
+}
+
+type lruNode struct {
+	page       PageID
+	prev, next *lruNode
+}
+
+func newLRUPool(capacity int) *lruPool {
+	return &lruPool{cap: capacity, nodes: make(map[PageID]*lruNode)}
+}
+
+// touch marks the page used, returning true on a hit (page was resident).
+func (p *lruPool) touch(pg PageID) bool {
+	if p.cap == 0 {
+		return false
+	}
+	if n, ok := p.nodes[pg]; ok {
+		p.moveToFront(n)
+		return true
+	}
+	n := &lruNode{page: pg}
+	p.nodes[pg] = n
+	p.pushFront(n)
+	if len(p.nodes) > p.cap {
+		evict := p.tail
+		p.unlink(evict)
+		delete(p.nodes, evict.page)
+	}
+	return false
+}
+
+func (p *lruPool) reset() {
+	p.nodes = make(map[PageID]*lruNode)
+	p.head, p.tail = nil, nil
+}
+
+func (p *lruPool) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *lruPool) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (p *lruPool) moveToFront(n *lruNode) {
+	if p.head == n {
+		return
+	}
+	p.unlink(n)
+	p.pushFront(n)
+}

@@ -1,0 +1,213 @@
+package pagesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlacePacking(t *testing.T) {
+	s := NewStore(100, 0)
+	s.Place(1, 40)
+	s.Place(2, 40)
+	s.Place(3, 40) // does not fit on page 0 (80 used): starts page 1
+	if got := s.PagesOf(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("obj 1 pages = %v", got)
+	}
+	if got := s.PagesOf(2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("obj 2 pages = %v", got)
+	}
+	if got := s.PagesOf(3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("obj 3 pages = %v", got)
+	}
+	if s.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", s.NumPages())
+	}
+}
+
+func TestPlaceLargeObjectSpansPages(t *testing.T) {
+	s := NewStore(100, 0)
+	s.Place(1, 250)
+	if got := s.PagesOf(1); len(got) != 3 {
+		t.Errorf("large object pages = %v, want 3 pages", got)
+	}
+	// Exactly full page.
+	s2 := NewStore(100, 0)
+	s2.Place(1, 100)
+	if got := s2.PagesOf(1); len(got) != 1 {
+		t.Errorf("full-page object pages = %v", got)
+	}
+	s2.Place(2, 1)
+	if got := s2.PagesOf(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("object after full page = %v, want page 1", got)
+	}
+}
+
+func TestPlaceDuplicatePanics(t *testing.T) {
+	s := NewStore(100, 0)
+	s.Place(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Place should panic")
+		}
+	}()
+	s.Place(1, 10)
+}
+
+func TestAccessCountsWithoutPool(t *testing.T) {
+	s := NewStore(100, 0)
+	s.Place(1, 50)
+	s.Place(2, 250)
+	s.Access(1)
+	s.Access(1)
+	s.Access(2)
+	// obj1: 1 page x 2 accesses = 2 reads; obj2: 3 pages = 3 reads.
+	if s.Reads() != 5 {
+		t.Errorf("Reads = %d, want 5", s.Reads())
+	}
+	if s.Accesses() != 3 {
+		t.Errorf("Accesses = %d, want 3", s.Accesses())
+	}
+}
+
+func TestAccessUnplacedPanics(t *testing.T) {
+	s := NewStore(100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to unplaced object should panic")
+		}
+	}()
+	s.Access(42)
+}
+
+func TestLRUPoolHits(t *testing.T) {
+	s := NewStore(100, 2)
+	s.Place(1, 100)
+	s.Place(2, 100)
+	s.Place(3, 100)
+	s.Access(1) // miss
+	s.Access(1) // hit
+	if s.Reads() != 1 {
+		t.Fatalf("Reads = %d, want 1", s.Reads())
+	}
+	s.Access(2) // miss (pool: 2,1)
+	s.Access(3) // miss, evicts 1 (pool: 3,2)
+	s.Access(2) // hit
+	s.Access(1) // miss again (was evicted)
+	if s.Reads() != 4 {
+		t.Errorf("Reads = %d, want 4", s.Reads())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	s := NewStore(10, 2)
+	s.Place(1, 10)
+	s.Place(2, 10)
+	s.Place(3, 10)
+	s.Access(1)
+	s.Access(2)
+	s.Access(1) // refresh 1: LRU order now (1 MRU, 2 LRU)
+	s.Access(3) // evicts 2
+	s.ResetStats()
+	s.Access(1)
+	if s.Reads() != 0 {
+		t.Errorf("page 1 should still be resident; reads = %d", s.Reads())
+	}
+	s.Access(2)
+	if s.Reads() != 1 {
+		t.Errorf("page 2 should have been evicted; reads = %d", s.Reads())
+	}
+}
+
+func TestResetStatsKeepsPool(t *testing.T) {
+	s := NewStore(10, 4)
+	s.Place(1, 10)
+	s.Access(1)
+	s.ResetStats()
+	if s.Reads() != 0 || s.Accesses() != 0 {
+		t.Error("ResetStats should zero counters")
+	}
+	s.Access(1)
+	if s.Reads() != 0 {
+		t.Error("pool should stay warm across ResetStats")
+	}
+	s.DropPool()
+	s.Access(1)
+	if s.Reads() != 1 {
+		t.Error("DropPool should cold the cache")
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"pageSize0": func() { NewStore(0, 0) },
+		"poolNeg":   func() { NewStore(10, -1) },
+		"sizeZero":  func() { NewStore(10, 0).Place(1, 0) },
+		"sizeNeg":   func() { NewStore(10, 0).Place(1, -5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: total pages spanned by placements is consistent — an object of
+// size z on pages of size p spans between ceil(z/p) and ceil(z/p)+1 pages
+// (the +1 never happens because objects start on a fresh page when they
+// don't fit, so exactly ceil(z/p)).
+func TestPlacementSpanProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewStore(512, 0)
+		for i, raw := range sizes {
+			size := int(raw)%2000 + 1
+			s.Place(ObjectID(i), size)
+			want := (size + 511) / 512
+			if len(s.PagesOf(ObjectID(i))) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reads never exceed accesses x max pages per object, and a
+// second identical pass with a big enough pool is free.
+func TestWarmPoolProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n)%50 + 1
+		s := NewStore(64, 10000)
+		for i := 0; i < count; i++ {
+			s.Place(ObjectID(i), 64)
+		}
+		for i := 0; i < count; i++ {
+			s.Access(ObjectID(i))
+		}
+		first := s.Reads()
+		s.ResetStats()
+		for i := 0; i < count; i++ {
+			s.Access(ObjectID(i))
+		}
+		return first == int64(count) && s.Reads() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccessWarm(b *testing.B) {
+	s := NewStore(4096, 1024)
+	for i := 0; i < 1000; i++ {
+		s.Place(ObjectID(i), 200)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(ObjectID(i % 1000))
+	}
+}

@@ -1,0 +1,74 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpssn/internal/geo"
+)
+
+func TestAStarMatchesDijkstraOnGrid(t *testing.T) {
+	g := gridGraph(12)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		src := VertexID(rng.Intn(g.NumVertices()))
+		dst := VertexID(rng.Intn(g.NumVertices()))
+		want := g.Dijkstra(src)[dst]
+		got := g.AStar(src, dst)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("AStar(%d,%d) = %v, Dijkstra %v", src, dst, got, want)
+		}
+	}
+}
+
+func TestAStarSameVertex(t *testing.T) {
+	g := gridGraph(3)
+	if got := g.AStar(4, 4); got != 0 {
+		t.Errorf("AStar(v,v) = %v", got)
+	}
+}
+
+func TestAStarUnreachable(t *testing.T) {
+	g := NewGraph(0, 0)
+	a := g.AddVertex(geo.Pt(0, 0))
+	b := g.AddVertex(geo.Pt(1, 0))
+	g.AddEdge(a, b)
+	c := g.AddVertex(geo.Pt(99, 99))
+	d := g.AddVertex(geo.Pt(98, 99))
+	g.AddEdge(c, d)
+	if got := g.AStar(a, c); !math.IsInf(got, 1) {
+		t.Errorf("unreachable AStar = %v", got)
+	}
+}
+
+func TestAStarAttachMatchesDistAttach(t *testing.T) {
+	g := gridGraph(8)
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		a := g.AttachAt(EdgeID(rng.Intn(g.NumEdges())), rng.Float64())
+		b := g.AttachAt(EdgeID(rng.Intn(g.NumEdges())), rng.Float64())
+		want := g.DistAttach(a, b)
+		got := g.AStarAttach(a, b)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("AStarAttach = %v, DistAttach = %v", got, want)
+		}
+	}
+}
+
+func BenchmarkAStarLong(b *testing.B) {
+	g := gridGraph(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AStar(0, VertexID(g.NumVertices()-1))
+	}
+}
+
+func BenchmarkDijkstraLong(b *testing.B) {
+	g := gridGraph(60)
+	dst := VertexID(g.NumVertices() - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Dijkstra(0)[dst]
+	}
+}

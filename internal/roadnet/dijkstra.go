@@ -1,0 +1,266 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// distHeap is a typed binary min-heap of (vertex, dist) pairs. A typed heap
+// avoids the interface allocations of container/heap in this hot path; the
+// road network runs thousands of Dijkstra searches during index builds.
+type distHeap struct {
+	v []VertexID
+	d []float64
+}
+
+func (h *distHeap) len() int { return len(h.v) }
+
+func (h *distHeap) push(v VertexID, d float64) {
+	h.v = append(h.v, v)
+	h.d = append(h.d, d)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d[p] <= h.d[i] {
+			break
+		}
+		h.v[p], h.v[i] = h.v[i], h.v[p]
+		h.d[p], h.d[i] = h.d[i], h.d[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() (VertexID, float64) {
+	v, d := h.v[0], h.d[0]
+	last := len(h.v) - 1
+	h.v[0], h.d[0] = h.v[last], h.d[last]
+	h.v, h.d = h.v[:last], h.d[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.d) && h.d[l] < h.d[s] {
+			s = l
+		}
+		if r < len(h.d) && h.d[r] < h.d[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.v[s], h.v[i] = h.v[i], h.v[s]
+		h.d[s], h.d[i] = h.d[i], h.d[s]
+		i = s
+	}
+	return v, d
+}
+
+// Seed is a Dijkstra source: a vertex with an initial distance (non-zero
+// initial distances arise when searching from an attachment point, which
+// seeds the two endpoints of its edge).
+type Seed struct {
+	Vertex VertexID
+	Dist   float64
+}
+
+// Dijkstra returns shortest-path distances from src to every vertex.
+// Unreachable vertices get +Inf.
+func (g *Graph) Dijkstra(src VertexID) []float64 {
+	g.checkVertex(src)
+	return g.DijkstraMulti([]Seed{{Vertex: src, Dist: 0}})
+}
+
+// DijkstraMulti returns shortest-path distances from the nearest seed to
+// every vertex. Unreachable vertices get +Inf.
+func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
+	dist := make([]float64, len(g.pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := &distHeap{}
+	for _, s := range seeds {
+		g.checkVertex(s.Vertex)
+		if s.Dist < 0 {
+			panic(fmt.Sprintf("roadnet: negative seed distance %v", s.Dist))
+		}
+		if s.Dist < dist[s.Vertex] {
+			dist[s.Vertex] = s.Dist
+			h.push(s.Vertex, s.Dist)
+		}
+	}
+	for h.len() > 0 {
+		v, d := h.pop()
+		if d > dist[v] {
+			continue // stale entry
+		}
+		for _, he := range g.adj[v] {
+			nd := d + he.weight
+			if nd < dist[he.to] {
+				dist[he.to] = nd
+				h.push(he.to, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// dijkstraBounded runs a multi-seed Dijkstra that stops once every target
+// vertex is settled or the frontier exceeds bound. Distances for settled
+// vertices are exact; others are +Inf. targets may be nil (then bound alone
+// stops the search).
+func (g *Graph) dijkstraBounded(seeds []Seed, targets []VertexID, bound float64) []float64 {
+	dist := make([]float64, len(g.pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	remaining := make(map[VertexID]bool, len(targets))
+	for _, t := range targets {
+		remaining[t] = true
+	}
+	h := &distHeap{}
+	for _, s := range seeds {
+		if s.Dist < dist[s.Vertex] {
+			dist[s.Vertex] = s.Dist
+			h.push(s.Vertex, s.Dist)
+		}
+	}
+	for h.len() > 0 {
+		v, d := h.pop()
+		if d > dist[v] {
+			continue
+		}
+		if d > bound {
+			break
+		}
+		if remaining[v] {
+			delete(remaining, v)
+			if len(remaining) == 0 && len(targets) > 0 {
+				break
+			}
+		}
+		for _, he := range g.adj[v] {
+			nd := d + he.weight
+			if nd < dist[he.to] {
+				dist[he.to] = nd
+				h.push(he.to, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DistAttach returns the exact road-network shortest-path distance between
+// two attachment points (the paper's dist_RN). Points on the same edge may
+// take the direct along-edge route or detour through either endpoint,
+// whichever is shorter.
+func (g *Graph) DistAttach(a, b Attach) float64 {
+	au, av, dau, dav := g.attachEnds(a)
+	bu, bv, dbu, dbv := g.attachEnds(b)
+
+	best := math.Inf(1)
+	if a.Edge == b.Edge {
+		e := g.EdgeAt(a.Edge)
+		best = math.Abs(a.T-b.T) * e.Weight
+	}
+	dist := g.dijkstraBounded(
+		[]Seed{{au, dau}, {av, dav}},
+		[]VertexID{bu, bv},
+		best,
+	)
+	if d := dist[bu] + dbu; d < best {
+		best = d
+	}
+	if d := dist[bv] + dbv; d < best {
+		best = d
+	}
+	return best
+}
+
+// DistAttachMany returns dist_RN from a to each attachment in bs using a
+// single Dijkstra from a (far cheaper than len(bs) point-to-point runs).
+func (g *Graph) DistAttachMany(a Attach, bs []Attach) []float64 {
+	au, av, dau, dav := g.attachEnds(a)
+	dist := g.DijkstraMulti([]Seed{{au, dau}, {av, dav}})
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		d := g.DistToVertexVia(b, dist)
+		if b.Edge == a.Edge {
+			e := g.EdgeAt(a.Edge)
+			if direct := math.Abs(a.T-b.T) * e.Weight; direct < d {
+				d = direct
+			}
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// DistAttachWithin returns dist_RN(a, c) for each candidate c, reported
+// only when it is ≤ bound; farther candidates get +Inf. It runs a single
+// Dijkstra truncated at bound, so the cost is proportional to the size of
+// the ball around a rather than the whole network. The GP-SSN index build
+// uses it to materialize the POI balls ⊙(o_i, r_min), and the query
+// refinement uses it to materialize answer balls ⊙(o_i, r).
+func (g *Graph) DistAttachWithin(a Attach, bound float64, cands []Attach) []float64 {
+	au, av, dau, dav := g.attachEnds(a)
+	dist := g.dijkstraBounded([]Seed{{au, dau}, {av, dav}}, nil, bound)
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		d := g.DistToVertexVia(c, dist)
+		if c.Edge == a.Edge {
+			e := g.EdgeAt(a.Edge)
+			if direct := math.Abs(a.T-c.T) * e.Weight; direct < d {
+				d = direct
+			}
+		}
+		if d > bound {
+			d = math.Inf(1)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// ShortestPath returns the distance and the vertex sequence of a shortest
+// path between two vertices, or +Inf and nil when unreachable.
+func (g *Graph) ShortestPath(src, dst VertexID) (float64, []VertexID) {
+	g.checkVertex(src)
+	g.checkVertex(dst)
+	dist := make([]float64, len(g.pts))
+	prev := make([]VertexID, len(g.pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	h.push(src, 0)
+	for h.len() > 0 {
+		v, d := h.pop()
+		if d > dist[v] {
+			continue
+		}
+		if v == dst {
+			break
+		}
+		for _, he := range g.adj[v] {
+			nd := d + he.weight
+			if nd < dist[he.to] {
+				dist[he.to] = nd
+				prev[he.to] = v
+				h.push(he.to, nd)
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return dist[dst], nil
+	}
+	var path []VertexID
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return dist[dst], path
+}

@@ -1,0 +1,109 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// PivotTable stores exact shortest-path distances from h pivot vertices to
+// every vertex of the road network (Section 4.1: each POI and each user
+// keeps its distances dist_RN(·, rp_k) to the road-network pivots). The
+// table supports the triangle-inequality lower/upper distance bounds of
+// Lemma 5 and Eq. (16)/(17).
+type PivotTable struct {
+	pivots []VertexID
+	dist   [][]float64 // dist[k][v] = dist_RN(rp_k, v)
+}
+
+// BuildPivotTable runs one Dijkstra per pivot and returns the table.
+func BuildPivotTable(g *Graph, pivots []VertexID) *PivotTable {
+	if len(pivots) == 0 {
+		panic("roadnet: BuildPivotTable needs at least one pivot")
+	}
+	t := &PivotTable{
+		pivots: append([]VertexID(nil), pivots...),
+		dist:   make([][]float64, len(pivots)),
+	}
+	for k, p := range pivots {
+		t.dist[k] = g.Dijkstra(p)
+	}
+	return t
+}
+
+// NumPivots returns h, the number of road-network pivots.
+func (t *PivotTable) NumPivots() int { return len(t.pivots) }
+
+// Pivots returns the pivot vertex ids.
+func (t *PivotTable) Pivots() []VertexID { return t.pivots }
+
+// VertexDist returns dist_RN(rp_k, v).
+func (t *PivotTable) VertexDist(k int, v VertexID) float64 {
+	t.check(k)
+	return t.dist[k][v]
+}
+
+// Row returns the full distance array of pivot k. Callers must treat it as
+// read-only.
+func (t *PivotTable) Row(k int) []float64 {
+	t.check(k)
+	return t.dist[k]
+}
+
+// AttachDist returns dist_RN(a, rp_k) for an attachment point a.
+func (t *PivotTable) AttachDist(g *Graph, k int, a Attach) float64 {
+	t.check(k)
+	return g.DistToVertexVia(a, t.dist[k])
+}
+
+// AttachDistAll returns dist_RN(a, rp_k) for every pivot k, in pivot order.
+// These are the per-object distance vectors stored in index leaf entries.
+func (t *PivotTable) AttachDistAll(g *Graph, a Attach) []float64 {
+	out := make([]float64, len(t.pivots))
+	for k := range t.pivots {
+		out[k] = g.DistToVertexVia(a, t.dist[k])
+	}
+	return out
+}
+
+// LowerBound returns a triangle-inequality lower bound on dist_RN between
+// two objects given their pivot-distance vectors:
+//
+//	lb = max_k |da[k] - db[k]|.
+func LowerBound(da, db []float64) float64 {
+	if len(da) != len(db) {
+		panic(fmt.Sprintf("roadnet: pivot vector length mismatch %d != %d", len(da), len(db)))
+	}
+	lb := 0.0
+	for k := range da {
+		if math.IsInf(da[k], 1) || math.IsInf(db[k], 1) {
+			continue // pivot unreachable from one side: no information
+		}
+		if d := math.Abs(da[k] - db[k]); d > lb {
+			lb = d
+		}
+	}
+	return lb
+}
+
+// UpperBound returns a triangle-inequality upper bound on dist_RN between
+// two objects given their pivot-distance vectors:
+//
+//	ub = min_k (da[k] + db[k]).
+func UpperBound(da, db []float64) float64 {
+	if len(da) != len(db) {
+		panic(fmt.Sprintf("roadnet: pivot vector length mismatch %d != %d", len(da), len(db)))
+	}
+	ub := math.Inf(1)
+	for k := range da {
+		if s := da[k] + db[k]; s < ub {
+			ub = s
+		}
+	}
+	return ub
+}
+
+func (t *PivotTable) check(k int) {
+	if k < 0 || k >= len(t.pivots) {
+		panic(fmt.Sprintf("roadnet: pivot %d out of range [0,%d)", k, len(t.pivots)))
+	}
+}

@@ -1,0 +1,146 @@
+package socialnet
+
+// Analysis helpers used to validate generated networks against the
+// structural properties real location-based social networks exhibit
+// (degree skew, clustering, community structure). The dataset generators'
+// tests assert on these, and cmd/gpssn-gen reports them.
+
+// DegreeHistogram returns counts[d] = number of users with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := range g.adj {
+		if len(g.adj[u]) > maxDeg {
+			maxDeg = len(g.adj[u])
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for u := range g.adj {
+		counts[len(g.adj[u])]++
+	}
+	return counts
+}
+
+// MaxDegree returns the largest degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for u := range g.adj {
+		if len(g.adj[u]) > m {
+			m = len(g.adj[u])
+		}
+	}
+	return m
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient over
+// users with degree >= 2: the fraction of a user's friend pairs that are
+// themselves friends. Real social networks cluster strongly (~0.1-0.3);
+// pure random graphs are near deg/n.
+func (g *Graph) ClusteringCoefficient() float64 {
+	sum, counted := 0.0, 0
+	for u := range g.adj {
+		friends := g.adj[u]
+		if len(friends) < 2 {
+			continue
+		}
+		inSet := make(map[UserID]bool, len(friends))
+		for _, v := range friends {
+			inSet[v] = true
+		}
+		links := 0
+		for _, v := range friends {
+			for _, w := range g.adj[v] {
+				if w != UserID(u) && inSet[w] {
+					links++
+				}
+			}
+		}
+		pairs := len(friends) * (len(friends) - 1) // ordered pairs
+		sum += float64(links) / float64(pairs)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// LargestComponentFraction returns the share of users in the largest
+// connected component.
+func (g *Graph) LargestComponentFraction() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	labels, n := g.ConnectedComponents()
+	sizes := make([]int, n)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(len(g.adj))
+}
+
+// MeanHopDistance estimates the mean hop distance between reachable user
+// pairs by running BFS from the given sample of source users.
+func (g *Graph) MeanHopDistance(sources []UserID) float64 {
+	var sum float64
+	var count int
+	for _, s := range sources {
+		for _, h := range g.BFSHops(s) {
+			if h > 0 {
+				sum += float64(h)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// Homophily returns the mean of sim(u, v) over friendship edges minus the
+// mean over an equal number of random non-adjacent pairs, using the given
+// similarity function. Positive values mean friends are more similar than
+// strangers — the property the GP-SSN interest pruning exploits. The
+// random pairs are drawn deterministically from the edge structure.
+func (g *Graph) Homophily(sim func(a, b UserID) float64) float64 {
+	n := len(g.adj)
+	if n < 2 || g.numEdges == 0 {
+		return 0
+	}
+	var friendSum float64
+	var friendCount int
+	var strangerSum float64
+	var strangerCount int
+	// Deterministic "random" stranger pairs via a multiplicative stride.
+	stride := UserID(2654435761 % uint32(n))
+	if stride == 0 {
+		stride = 1
+	}
+	next := UserID(1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			if UserID(u) < v {
+				friendSum += sim(UserID(u), v)
+				friendCount++
+				// One stranger pair per edge.
+				a := UserID(u)
+				b := (v*stride + next) % UserID(n)
+				next++
+				if a != b && !g.AreFriends(a, b) {
+					strangerSum += sim(a, b)
+					strangerCount++
+				}
+			}
+		}
+	}
+	if friendCount == 0 || strangerCount == 0 {
+		return 0
+	}
+	return friendSum/float64(friendCount) - strangerSum/float64(strangerCount)
+}

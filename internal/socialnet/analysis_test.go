@@ -1,0 +1,96 @@
+package socialnet
+
+import (
+	"math"
+	"testing"
+)
+
+// triangleGraph: 0-1-2 triangle plus pendant 3 attached to 0.
+func triangleGraph() *Graph {
+	g := NewGraph(4)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(0, 2)
+	g.AddFriendship(0, 3)
+	return g
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := triangleGraph()
+	h := g.DegreeHistogram()
+	// degrees: 0->3, 1->2, 2->2, 3->1
+	if h[1] != 1 || h[2] != 2 || h[3] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	g := triangleGraph()
+	// User 1: friends {0,2}, linked -> 1.0. User 2: friends {0,1} linked -> 1.0.
+	// User 0: friends {1,2,3}: of 6 ordered pairs, (1,2) and (2,1) linked -> 1/3.
+	// Mean over users with deg>=2: (1 + 1 + 1/3) / 3.
+	want := (1.0 + 1.0 + 1.0/3) / 3
+	if got := g.ClusteringCoefficient(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ClusteringCoefficient = %v, want %v", got, want)
+	}
+	// A path graph has no triangles.
+	if got := pathGraph(10).ClusteringCoefficient(); got != 0 {
+		t.Errorf("path clustering = %v", got)
+	}
+	if NewGraph(0).ClusteringCoefficient() != 0 {
+		t.Error("empty graph clustering should be 0")
+	}
+}
+
+func TestLargestComponentFraction(t *testing.T) {
+	g := NewGraph(5)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(3, 4)
+	if got := g.LargestComponentFraction(); got != 0.6 {
+		t.Errorf("LargestComponentFraction = %v, want 0.6", got)
+	}
+	if NewGraph(0).LargestComponentFraction() != 0 {
+		t.Error("empty graph fraction should be 0")
+	}
+}
+
+func TestMeanHopDistance(t *testing.T) {
+	g := pathGraph(4) // 0-1-2-3
+	// From 0: hops 1+2+3 = 6 over 3 pairs.
+	got := g.MeanHopDistance([]UserID{0})
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("MeanHopDistance = %v, want 2", got)
+	}
+	if g.MeanHopDistance(nil) != 0 {
+		t.Error("no sources should give 0")
+	}
+}
+
+func TestHomophily(t *testing.T) {
+	// Two cliques with identical internal "interest" labels: friends are
+	// always same-label, strangers mostly cross-label.
+	g := NewGraph(8)
+	label := []float64{0, 0, 0, 0, 1, 1, 1, 1}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddFriendship(UserID(i), UserID(j))
+			g.AddFriendship(UserID(i+4), UserID(j+4))
+		}
+	}
+	sim := func(a, b UserID) float64 {
+		if label[a] == label[b] {
+			return 1
+		}
+		return 0
+	}
+	if got := g.Homophily(sim); got <= 0 {
+		t.Errorf("Homophily = %v, want positive", got)
+	}
+	if NewGraph(3).Homophily(sim) != 0 {
+		t.Error("no edges should give 0")
+	}
+}

@@ -1,0 +1,238 @@
+package socialnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition divides the users into balanced groups of roughly targetSize
+// users each, preferring connected groups. It stands in for the METIS-style
+// partitioner the paper cites for building the leaf nodes of index I_S:
+// partitions are grown by BFS from seed users (keeping each group
+// connected within its component) and then rebalanced by moving boundary
+// users from oversized to undersized neighbouring groups.
+//
+// Every user is assigned to exactly one group; groups are non-empty; the
+// result is deterministic for a given graph.
+func Partition(g *Graph, targetSize int) [][]UserID {
+	if targetSize <= 0 {
+		panic(fmt.Sprintf("socialnet: non-positive partition size %d", targetSize))
+	}
+	n := g.NumUsers()
+	if n == 0 {
+		return nil
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var groups [][]UserID
+
+	// Seed order: highest degree first, so hubs anchor partitions and BFS
+	// growth follows community structure.
+	order := make([]UserID, n)
+	for i := range order {
+		order[i] = UserID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+
+	// conn[v] counts edges from unassigned vertex v into the group being
+	// grown; growing by maximum connectivity keeps each partition inside
+	// one community (the min-cut behaviour METIS provides).
+	conn := make([]int, n)
+	inFrontier := make([]bool, n)
+	for _, seed := range order {
+		if assign[seed] >= 0 {
+			continue
+		}
+		gid := len(groups)
+		group := []UserID{seed}
+		assign[seed] = gid
+		var frontier []UserID
+		addNeighbors := func(u UserID) {
+			for _, v := range g.Friends(u) {
+				if assign[v] < 0 {
+					conn[v]++
+					if !inFrontier[v] {
+						inFrontier[v] = true
+						frontier = append(frontier, v)
+					}
+				}
+			}
+		}
+		addNeighbors(seed)
+		for len(group) < targetSize && len(frontier) > 0 {
+			// Pick the frontier vertex with the most edges into the group.
+			bi, bc := -1, -1
+			for i, v := range frontier {
+				if assign[v] >= 0 {
+					continue
+				}
+				if conn[v] > bc {
+					bi, bc = i, conn[v]
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			v := frontier[bi]
+			frontier[bi] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			inFrontier[v] = false
+			assign[v] = gid
+			group = append(group, v)
+			addNeighbors(v)
+		}
+		// Reset frontier bookkeeping for the next group.
+		for _, v := range frontier {
+			inFrontier[v] = false
+			conn[v] = 0
+		}
+		frontier = frontier[:0]
+		groups = append(groups, group)
+	}
+
+	groups = mergeTinyGroups(g, groups, assign, targetSize)
+	return groups
+}
+
+// mergeTinyGroups folds groups smaller than half the target into an
+// adjacent group (or the smallest group when no adjacency exists, e.g.
+// isolated users), so the partition tree does not degenerate into a long
+// tail of singleton leaves.
+func mergeTinyGroups(g *Graph, groups [][]UserID, assign []int, targetSize int) [][]UserID {
+	minSize := targetSize / 2
+	if minSize < 1 {
+		minSize = 1
+	}
+	for gi := 0; gi < len(groups); gi++ {
+		if len(groups[gi]) >= minSize || len(groups[gi]) == 0 {
+			continue
+		}
+		// Find the smallest adjacent group to merge into.
+		best := -1
+		for _, u := range groups[gi] {
+			for _, v := range g.Friends(u) {
+				o := assign[v]
+				if o == gi || o < 0 || len(groups[o]) == 0 {
+					continue
+				}
+				if best < 0 || len(groups[o]) < len(groups[best]) {
+					best = o
+				}
+			}
+		}
+		if best < 0 {
+			// No adjacent group (isolated users): merge into the globally
+			// smallest other non-empty group.
+			for o := range groups {
+				if o == gi || len(groups[o]) == 0 {
+					continue
+				}
+				if best < 0 || len(groups[o]) < len(groups[best]) {
+					best = o
+				}
+			}
+		}
+		if best < 0 {
+			continue // only one group overall
+		}
+		for _, u := range groups[gi] {
+			assign[u] = best
+		}
+		groups[best] = append(groups[best], groups[gi]...)
+		groups[gi] = nil
+	}
+	out := groups[:0]
+	for _, grp := range groups {
+		if len(grp) > 0 {
+			out = append(out, grp)
+		}
+	}
+	return out
+}
+
+// HopPivotTable stores BFS hop distances from l pivot users to every user
+// (Section 4.1: each user keeps dist_SN(u_j, sp_k) for the social pivots),
+// enabling the triangle-inequality hop lower bound of Lemma 4.
+type HopPivotTable struct {
+	pivots []UserID
+	hops   [][]int32
+}
+
+// BuildHopPivotTable runs one BFS per pivot.
+func BuildHopPivotTable(g *Graph, pivots []UserID) *HopPivotTable {
+	if len(pivots) == 0 {
+		panic("socialnet: BuildHopPivotTable needs at least one pivot")
+	}
+	t := &HopPivotTable{
+		pivots: append([]UserID(nil), pivots...),
+		hops:   make([][]int32, len(pivots)),
+	}
+	for k, p := range pivots {
+		t.hops[k] = g.BFSHops(p)
+	}
+	return t
+}
+
+// NumPivots returns l, the number of social-network pivots.
+func (t *HopPivotTable) NumPivots() int { return len(t.pivots) }
+
+// Pivots returns the pivot user ids.
+func (t *HopPivotTable) Pivots() []UserID { return t.pivots }
+
+// Hops returns dist_SN(sp_k, u), or Unreachable.
+func (t *HopPivotTable) Hops(k int, u UserID) int32 {
+	if k < 0 || k >= len(t.pivots) {
+		panic(fmt.Sprintf("socialnet: pivot %d out of range [0,%d)", k, len(t.pivots)))
+	}
+	return t.hops[k][u]
+}
+
+// UserVector returns the pivot hop vector of u, in pivot order.
+func (t *HopPivotTable) UserVector(u UserID) []int32 {
+	out := make([]int32, len(t.pivots))
+	for k := range t.pivots {
+		out[k] = t.hops[k][u]
+	}
+	return out
+}
+
+// HopLowerBound returns the triangle-inequality lower bound on the hop
+// distance between two users given their pivot hop vectors:
+//
+//	lb_dist_SN(u, q) = max_k |hu[k] - hq[k]|.
+//
+// Pivots unreachable from exactly one of the two users prove the users are
+// in different components, so the bound is "infinite" — represented by the
+// returned ok=false. Pivots unreachable from both carry no information.
+func HopLowerBound(hu, hq []int32) (lb int32, ok bool) {
+	if len(hu) != len(hq) {
+		panic(fmt.Sprintf("socialnet: hop vector length mismatch %d != %d", len(hu), len(hq)))
+	}
+	ok = true
+	for k := range hu {
+		a, b := hu[k], hq[k]
+		switch {
+		case a == Unreachable && b == Unreachable:
+			continue
+		case a == Unreachable || b == Unreachable:
+			return 0, false // provably different components
+		default:
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			if d > lb {
+				lb = d
+			}
+		}
+	}
+	return lb, ok
+}

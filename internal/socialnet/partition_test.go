@@ -1,0 +1,209 @@
+package socialnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversAllUsersOnce(t *testing.T) {
+	g := randomGraph(200, 300, 1)
+	groups := Partition(g, 25)
+	seen := map[UserID]int{}
+	for _, grp := range groups {
+		if len(grp) == 0 {
+			t.Fatal("empty group")
+		}
+		for _, u := range grp {
+			seen[u]++
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("covered %d users, want 200", len(seen))
+	}
+	for u, c := range seen {
+		if c != 1 {
+			t.Fatalf("user %d assigned %d times", u, c)
+		}
+	}
+}
+
+func TestPartitionGroupSizes(t *testing.T) {
+	g := randomGraph(300, 500, 2)
+	const target = 30
+	groups := Partition(g, target)
+	for i, grp := range groups {
+		if len(grp) > 2*target {
+			t.Errorf("group %d has %d users (> 2x target %d)", i, len(grp), target)
+		}
+	}
+	if len(groups) < 5 {
+		t.Errorf("only %d groups for 300 users at target 30", len(groups))
+	}
+}
+
+func TestPartitionConnectedGroups(t *testing.T) {
+	// On a connected graph, BFS-grown groups before merging are connected;
+	// after tiny-group merging most groups remain connected. We require at
+	// least that every group of a path graph (easy case) is connected.
+	g := pathGraph(100)
+	groups := Partition(g, 10)
+	for i, grp := range groups {
+		if !g.IsConnectedSet(grp) {
+			t.Errorf("group %d is disconnected: %v", i, grp)
+		}
+	}
+}
+
+func TestPartitionIsolatedUsers(t *testing.T) {
+	g := NewGraph(10) // no edges at all
+	groups := Partition(g, 3)
+	total := 0
+	for _, grp := range groups {
+		total += len(grp)
+	}
+	if total != 10 {
+		t.Fatalf("covered %d users, want 10", total)
+	}
+}
+
+func TestPartitionSingleGroup(t *testing.T) {
+	g := pathGraph(5)
+	groups := Partition(g, 100)
+	if len(groups) != 1 || len(groups[0]) != 5 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestPartitionEmptyGraph(t *testing.T) {
+	if got := Partition(NewGraph(0), 5); got != nil {
+		t.Errorf("empty graph partition = %v", got)
+	}
+}
+
+func TestPartitionBadTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("target 0 should panic")
+		}
+	}()
+	Partition(NewGraph(3), 0)
+}
+
+// Property: partitioning any random graph covers every user exactly once.
+func TestPartitionCoverageProperty(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw, tRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		target := int(tRaw)%20 + 1
+		g := randomGraph(n, int(extraRaw), seed)
+		groups := Partition(g, target)
+		seen := map[UserID]bool{}
+		for _, grp := range groups {
+			for _, u := range grp {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopPivotTable(t *testing.T) {
+	g := pathGraph(10)
+	pt := BuildHopPivotTable(g, []UserID{0, 9})
+	if pt.NumPivots() != 2 {
+		t.Fatalf("NumPivots = %d", pt.NumPivots())
+	}
+	if pt.Hops(0, 4) != 4 || pt.Hops(1, 4) != 5 {
+		t.Errorf("hops wrong: %d, %d", pt.Hops(0, 4), pt.Hops(1, 4))
+	}
+	v := pt.UserVector(4)
+	if len(v) != 2 || v[0] != 4 || v[1] != 5 {
+		t.Errorf("UserVector = %v", v)
+	}
+	if got := pt.Pivots(); len(got) != 2 || got[0] != 0 {
+		t.Errorf("Pivots = %v", got)
+	}
+}
+
+func TestBuildHopPivotTableEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty pivot set should panic")
+		}
+	}()
+	BuildHopPivotTable(pathGraph(3), nil)
+}
+
+func TestHopLowerBound(t *testing.T) {
+	lb, ok := HopLowerBound([]int32{3, 7}, []int32{5, 2})
+	if !ok || lb != 5 {
+		t.Errorf("lb = %d ok=%v, want 5 true", lb, ok)
+	}
+	// Pivot unreachable from one side proves different components.
+	if _, ok := HopLowerBound([]int32{Unreachable}, []int32{3}); ok {
+		t.Error("one-sided unreachable pivot should report ok=false")
+	}
+	// Unreachable from both sides: no information, trivial bound.
+	lb, ok = HopLowerBound([]int32{Unreachable}, []int32{Unreachable})
+	if !ok || lb != 0 {
+		t.Errorf("both-unreachable: lb=%d ok=%v", lb, ok)
+	}
+}
+
+func TestHopLowerBoundMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	HopLowerBound([]int32{1}, []int32{1, 2})
+}
+
+// Property: the pivot hop lower bound never exceeds the true hop distance.
+func TestHopLowerBoundSoundProperty(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		g := randomGraph(n, int(extraRaw)%120, seed)
+		pt := BuildHopPivotTable(g, []UserID{0, UserID(n / 2)})
+		trueHops := g.BFSHops(0)
+		hq := pt.UserVector(0)
+		for u := 1; u < n; u++ {
+			lb, ok := HopLowerBound(pt.UserVector(UserID(u)), hq)
+			if !ok {
+				// Claimed different components: must really be unreachable.
+				if trueHops[u] != Unreachable {
+					return false
+				}
+				continue
+			}
+			if trueHops[u] != Unreachable && lb > trueHops[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBFSHops(b *testing.B) {
+	g := randomGraph(5000, 20000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSHops(UserID(i % 5000))
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	g := randomGraph(5000, 20000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(g, 64)
+	}
+}

@@ -1,0 +1,84 @@
+// Package topics provides an exact bitset over the GP-SSN topic/keyword
+// vocabulary [0, d). Index nodes use topic sets for keyword supersets and
+// subsets (sup_K, sub_K of Section 4.1); unlike the hashed bit vectors of
+// package bitvec, a Set has no collisions, which the lower-bound side of
+// the matching-score pruning requires for soundness.
+package topics
+
+import "fmt"
+
+// Set is an exact bitset over the topic vocabulary [0, d). Index
+// nodes use Sets for keyword supersets/subsets (sup_K, sub_K); unlike
+// the hashed bit vectors of package bitvec, a Set has no collisions,
+// which the lower-bound side of the matching-score pruning requires for
+// soundness.
+type Set struct {
+	d     int
+	words []uint64
+}
+
+// NewSet returns an empty set over a vocabulary of d topics.
+func NewSet(d int) Set {
+	if d <= 0 {
+		panic(fmt.Sprintf("topics: non-positive vocabulary size %d", d))
+	}
+	return Set{d: d, words: make([]uint64, (d+63)/64)}
+}
+
+// SetOf returns the set containing the given topics.
+func SetOf(d int, topics ...int) Set {
+	s := NewSet(d)
+	for _, t := range topics {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts topic t.
+func (s Set) Add(t int) {
+	if t < 0 || t >= s.d {
+		panic(fmt.Sprintf("topics: topic %d outside vocabulary [0,%d)", t, s.d))
+	}
+	s.words[t>>6] |= 1 << (uint(t) & 63)
+}
+
+// Has reports whether topic t is in the set.
+func (s Set) Has(t int) bool {
+	if t < 0 || t >= s.d {
+		panic(fmt.Sprintf("topics: topic %d outside vocabulary [0,%d)", t, s.d))
+	}
+	return s.words[t>>6]&(1<<(uint(t)&63)) != 0
+}
+
+// Union merges o into s in place.
+func (s Set) Union(o Set) {
+	if s.d != o.d {
+		panic(fmt.Sprintf("topics: vocabulary mismatch %d != %d", s.d, o.d))
+	}
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := Set{d: s.d, words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// IsEmpty reports whether no topic is set.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vocabulary returns d.
+func (s Set) Vocabulary() int { return s.d }
+
+// SizeBytes returns the payload size, used for page-layout accounting.
+func (s Set) SizeBytes() int { return len(s.words) * 8 }

@@ -1,0 +1,86 @@
+package topics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := NewSet(70)
+	for _, f := range []int{0, 63, 64, 69} {
+		if s.Has(f) {
+			t.Errorf("topic %d should start absent", f)
+		}
+		s.Add(f)
+		if !s.Has(f) {
+			t.Errorf("topic %d should be present", f)
+		}
+	}
+	if s.IsEmpty() {
+		t.Error("set is not empty")
+	}
+	if !NewSet(3).IsEmpty() {
+		t.Error("fresh set should be empty")
+	}
+	if s.Vocabulary() != 70 || s.SizeBytes() != 16 {
+		t.Errorf("Vocabulary=%d SizeBytes=%d", s.Vocabulary(), s.SizeBytes())
+	}
+}
+
+func TestSetOfUnionClone(t *testing.T) {
+	a := SetOf(10, 1, 2)
+	b := SetOf(10, 2, 3)
+	c := a.Clone()
+	c.Union(b)
+	for _, f := range []int{1, 2, 3} {
+		if !c.Has(f) {
+			t.Errorf("union missing %d", f)
+		}
+	}
+	if a.Has(3) {
+		t.Error("Union mutated through Clone")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad vocab":      func() { NewSet(0) },
+		"add oob":        func() { NewSet(3).Add(3) },
+		"has oob":        func() { NewSet(3).Has(-1) },
+		"union mismatch": func() { NewSet(3).Union(NewSet(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: a union contains exactly the topics of both operands.
+func TestUnionProperty(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		const d = 200
+		a, b := NewSet(d), NewSet(d)
+		for _, x := range as {
+			a.Add(int(x) % d)
+		}
+		for _, x := range bs {
+			b.Add(int(x) % d)
+		}
+		u := a.Clone()
+		u.Union(b)
+		for f := 0; f < d; f++ {
+			if u.Has(f) != (a.Has(f) || b.Has(f)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

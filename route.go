@@ -1,0 +1,99 @@
+package gpssn
+
+import (
+	"fmt"
+
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// RoutePoint is one vertex of a road route.
+type RoutePoint struct {
+	X, Y float64
+}
+
+// Route returns a shortest road route from a user's home to a POI: the
+// exact road distance and the polyline to draw, starting at the home
+// location and ending at the POI location. Trip-planning frontends call
+// this for each (group member, POI) pair of an Answer.
+func (n *Network) Route(user, poi int) (float64, []RoutePoint, error) {
+	if user < 0 || user >= len(n.ds.Users) {
+		return 0, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(n.ds.Users))
+	}
+	if poi < 0 || poi >= len(n.ds.POIs) {
+		return 0, nil, fmt.Errorf("gpssn: POI %d out of range [0,%d)", poi, len(n.ds.POIs))
+	}
+	road := n.ds.Road
+	ua := n.ds.Users[user].At
+	pa := n.ds.POIs[poi].At
+
+	// Same edge: the direct along-edge route may win.
+	dist := road.DistAttach(ua, pa)
+
+	// Choose the endpoint pair realizing the distance and reconstruct the
+	// vertex path between them.
+	ue := road.EdgeAt(ua.Edge)
+	pe := road.EdgeAt(pa.Edge)
+	type seed struct {
+		v   roadnet.VertexID
+		off float64
+	}
+	uSeeds := []seed{{ue.U, ua.T * ue.Weight}, {ue.V, (1 - ua.T) * ue.Weight}}
+	pSeeds := []seed{{pe.U, pa.T * pe.Weight}, {pe.V, (1 - pa.T) * pe.Weight}}
+
+	best := []RoutePoint{pointOf(road, ua), pointOf(road, pa)}
+	if ua.Edge == pa.Edge {
+		// Direct along-edge route candidate.
+		direct := abs(ua.T-pa.T) * ue.Weight
+		if direct <= dist+1e-9 {
+			return dist, best, nil
+		}
+	}
+	bestTotal := -1.0
+	for _, us := range uSeeds {
+		for _, ps := range pSeeds {
+			d, path := road.ShortestPath(us.v, ps.v)
+			if path == nil {
+				continue
+			}
+			total := us.off + d + ps.off
+			if bestTotal < 0 || total < bestTotal {
+				bestTotal = total
+				pts := make([]RoutePoint, 0, len(path)+2)
+				pts = append(pts, pointOf(road, ua))
+				for _, v := range path {
+					p := road.Vertex(v)
+					pts = append(pts, RoutePoint{p.X, p.Y})
+				}
+				pts = append(pts, pointOf(road, pa))
+				best = pts
+			}
+		}
+	}
+	if bestTotal < 0 {
+		return dist, nil, fmt.Errorf("gpssn: user %d and POI %d are not connected", user, poi)
+	}
+	return dist, best, nil
+}
+
+func pointOf(road *roadnet.Graph, a roadnet.Attach) RoutePoint {
+	p := road.Location(a)
+	return RoutePoint{p.X, p.Y}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FriendsOf returns the user ids adjacent to the given user in the social
+// network.
+func (n *Network) FriendsOf(user int) []int {
+	out := []int{}
+	for _, v := range n.ds.Social.Friends(socialnet.UserID(user)) {
+		out = append(out, int(v))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package gpssn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRouteBasics(t *testing.T) {
+	net := figure1Network(t)
+	for user := 0; user < net.NumUsers(); user++ {
+		for poi := 0; poi < net.NumPOIs(); poi++ {
+			dist, pts, err := net.Route(user, poi)
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", user, poi, err)
+			}
+			if math.Abs(dist-net.RoadDistance(user, poi)) > 1e-9 {
+				t.Fatalf("Route(%d,%d) dist %v != RoadDistance %v",
+					user, poi, dist, net.RoadDistance(user, poi))
+			}
+			if len(pts) < 2 {
+				t.Fatalf("Route(%d,%d) polyline too short: %v", user, poi, pts)
+			}
+			// Endpoints must be the home and the POI.
+			ux, uy := net.UserLocation(user)
+			px, py := net.POILocation(poi)
+			if math.Hypot(pts[0].X-ux, pts[0].Y-uy) > 1e-9 {
+				t.Fatalf("route does not start at home")
+			}
+			last := pts[len(pts)-1]
+			if math.Hypot(last.X-px, last.Y-py) > 1e-9 {
+				t.Fatalf("route does not end at the POI")
+			}
+		}
+	}
+}
+
+// The polyline's length must be close to the reported distance: the path
+// through the chosen endpoints may legitimately exceed the optimal
+// attach-to-attach distance by at most one edge length (the partial-edge
+// segments at both ends), and never undershoot it.
+func TestRoutePolylineLength(t *testing.T) {
+	net := figure1Network(t)
+	for user := 0; user < net.NumUsers(); user++ {
+		for poi := 0; poi < net.NumPOIs(); poi++ {
+			dist, pts, err := net.Route(user, poi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			length := 0.0
+			for i := 1; i < len(pts); i++ {
+				length += math.Hypot(pts[i].X-pts[i-1].X, pts[i].Y-pts[i-1].Y)
+			}
+			if length < dist-1e-6 {
+				t.Fatalf("Route(%d,%d): polyline %v shorter than road distance %v",
+					user, poi, length, dist)
+			}
+			if length > dist+2+1e-6 { // edges in figure1Network have length 1
+				t.Fatalf("Route(%d,%d): polyline %v much longer than distance %v",
+					user, poi, length, dist)
+			}
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	net := figure1Network(t)
+	if _, _, err := net.Route(-1, 0); err == nil {
+		t.Error("negative user should error")
+	}
+	if _, _, err := net.Route(0, 99); err == nil {
+		t.Error("missing POI should error")
+	}
+}
+
+func TestFriendsOf(t *testing.T) {
+	net := figure1Network(t)
+	friends := net.FriendsOf(0)
+	if len(friends) != 2 {
+		t.Fatalf("FriendsOf(0) = %v", friends)
+	}
+	seen := map[int]bool{}
+	for _, f := range friends {
+		seen[f] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("FriendsOf(0) = %v, want {1,2}", friends)
+	}
+	if len(net.FriendsOf(4)) != 1 {
+		t.Errorf("FriendsOf(4) = %v", net.FriendsOf(4))
+	}
+}

@@ -1,0 +1,68 @@
+package gpssn
+
+import (
+	"fmt"
+
+	"gpssn/internal/model"
+	"gpssn/internal/socialnet"
+)
+
+// Subnetwork extracts the social neighbourhood of a user: the users within
+// the given hop distance, their induced friendships, and the full road
+// network and POI set. The returned network renumbers users; the returned
+// slice maps each new id to its original id. Useful for debugging a
+// query's candidate set or for demoing on a zoomed-in piece of a large
+// network.
+func (n *Network) Subnetwork(user int, hops int) (*Network, []int, error) {
+	if user < 0 || user >= len(n.ds.Users) {
+		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(n.ds.Users))
+	}
+	if hops < 0 {
+		return nil, nil, fmt.Errorf("gpssn: negative hop bound %d", hops)
+	}
+	keep := n.ds.Social.WithinHops(socialnet.UserID(user), int32(hops))
+	oldToNew := make(map[socialnet.UserID]int, len(keep))
+	mapping := make([]int, len(keep))
+	for i, u := range keep {
+		oldToNew[u] = i
+		mapping[i] = int(u)
+	}
+
+	social := socialnet.NewGraph(len(keep))
+	for _, u := range keep {
+		for _, v := range n.ds.Social.Friends(u) {
+			if nv, ok := oldToNew[v]; ok && oldToNew[u] < nv {
+				social.AddFriendship(socialnet.UserID(oldToNew[u]), socialnet.UserID(nv))
+			}
+		}
+	}
+
+	users := make([]model.User, len(keep))
+	for i, u := range keep {
+		orig := n.ds.Users[u]
+		users[i] = model.User{
+			ID:        socialnet.UserID(i),
+			At:        orig.At,
+			Loc:       orig.Loc,
+			Interests: append([]float64(nil), orig.Interests...),
+		}
+	}
+
+	// POIs and the road network are shared structures; copy the POI slice
+	// so the subnetwork stays independent for mutation-free use.
+	pois := make([]model.POI, len(n.ds.POIs))
+	copy(pois, n.ds.POIs)
+
+	ds := &model.Dataset{
+		Name:      fmt.Sprintf("%s-around-u%d", n.ds.Name, user),
+		Road:      n.ds.Road,
+		Social:    social,
+		Users:     users,
+		POIs:      pois,
+		NumTopics: n.ds.NumTopics,
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("gpssn: subnetwork invalid: %w", err)
+	}
+	return &Network{ds: ds}, mapping, nil
+}

@@ -1,0 +1,85 @@
+package gpssn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSubnetwork(t *testing.T) {
+	net := figure1Network(t)
+	// Around user 0 within 1 hop: users {0, 1, 2}.
+	sub, mapping, err := net.Subnetwork(0, 1)
+	if err != nil {
+		t.Fatalf("Subnetwork: %v", err)
+	}
+	if sub.NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d, want 3", sub.NumUsers())
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Original ids preserved through the mapping.
+	seen := map[int]bool{}
+	for _, orig := range mapping {
+		seen[orig] = true
+	}
+	for _, want := range []int{0, 1, 2} {
+		if !seen[want] {
+			t.Errorf("mapping missing original user %d: %v", want, mapping)
+		}
+	}
+	// Induced friendships: the 0-1-2 triangle survives.
+	edges := 0
+	for i := 0; i < sub.NumUsers(); i++ {
+		for j := i + 1; j < sub.NumUsers(); j++ {
+			if sub.AreFriends(i, j) {
+				edges++
+			}
+		}
+	}
+	if edges != 3 {
+		t.Errorf("induced edges = %d, want 3", edges)
+	}
+	// Full POI set and road retained.
+	if sub.NumPOIs() != net.NumPOIs() || sub.NumIntersections() != net.NumIntersections() {
+		t.Error("POIs/road should be retained")
+	}
+	// The subnetwork answers queries.
+	db, err := Open(sub, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := -1
+	for newID, orig := range mapping {
+		if orig == 0 {
+			center = newID
+		}
+	}
+	if center < 0 {
+		t.Fatal("center user missing from mapping")
+	}
+	if _, _, err := db.Query(center, Query{GroupSize: 2, Gamma: 0.3, Theta: 0.3, Radius: 2}); err != nil && !errors.Is(err, ErrNoAnswer) {
+		t.Fatalf("query on subnetwork: %v", err)
+	}
+}
+
+func TestSubnetworkZeroHops(t *testing.T) {
+	net := figure1Network(t)
+	sub, mapping, err := net.Subnetwork(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumUsers() != 1 || mapping[0] != 3 {
+		t.Errorf("zero-hop subnetwork: %d users, mapping %v", sub.NumUsers(), mapping)
+	}
+}
+
+func TestSubnetworkValidation(t *testing.T) {
+	net := figure1Network(t)
+	if _, _, err := net.Subnetwork(-1, 1); err == nil {
+		t.Error("bad user should fail")
+	}
+	if _, _, err := net.Subnetwork(0, -1); err == nil {
+		t.Error("negative hops should fail")
+	}
+}

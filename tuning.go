@@ -1,0 +1,121 @@
+package gpssn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gpssn/internal/core"
+	"gpssn/internal/socialnet"
+)
+
+// SuggestQuery derives query thresholds from the data distributions, the
+// way Section 2.2 of the paper proposes tuning the system parameters:
+//
+//   - Gamma is the given percentile of the pairwise interest-score
+//     distribution over sampled friend pairs (friends, not random pairs —
+//     the group S is drawn from the issuer's social neighbourhood).
+//   - Theta is the percentile of the matching-score distribution between
+//     sampled users and sampled radius-r POI balls.
+//   - Radius is the percentile of the nearest-neighbour road distance
+//     between POIs, scaled so a ball typically holds a handful of POIs.
+//
+// percentile is in (0, 1); higher percentiles give stricter thresholds and
+// smaller, more-compatible answers. The suggestion is deterministic for a
+// given network and percentile.
+func SuggestQuery(net *Network, groupSize int, percentile float64) (Query, error) {
+	if net == nil || net.ds == nil {
+		return Query{}, fmt.Errorf("gpssn: nil network")
+	}
+	if groupSize < 1 {
+		return Query{}, fmt.Errorf("gpssn: group size must be >= 1, got %d", groupSize)
+	}
+	if percentile <= 0 || percentile >= 1 {
+		return Query{}, fmt.Errorf("gpssn: percentile must be in (0,1), got %v", percentile)
+	}
+	ds := net.ds
+	rng := rand.New(rand.NewSource(12345))
+	const samples = 300
+
+	// Radius first: percentile of POI nearest-neighbour road distance,
+	// scaled by 4 so a ball holds ~a handful of POIs.
+	var nnDists []float64
+	for i := 0; i < samples; i++ {
+		a := &ds.POIs[rng.Intn(len(ds.POIs))]
+		best := math.Inf(1)
+		for j := 0; j < 8; j++ {
+			b := &ds.POIs[rng.Intn(len(ds.POIs))]
+			if b.ID == a.ID {
+				continue
+			}
+			if d := a.Loc.Dist(b.Loc); d < best {
+				best = d // Euclidean lower bound is enough for scaling
+			}
+		}
+		if !math.IsInf(best, 1) {
+			nnDists = append(nnDists, best)
+		}
+	}
+	radius := 4 * quantile(nnDists, percentile)
+	if radius <= 0 {
+		radius = 1
+	}
+
+	// Gamma: percentile of friend-pair interest scores.
+	var scores []float64
+	for i := 0; i < samples; i++ {
+		u := socialnet.UserID(rng.Intn(ds.Social.NumUsers()))
+		friends := ds.Social.Friends(u)
+		if len(friends) == 0 {
+			continue
+		}
+		v := friends[rng.Intn(len(friends))]
+		scores = append(scores, core.InterestScore(ds.Users[u].Interests, ds.Users[v].Interests))
+	}
+	gamma := quantile(scores, percentile) // higher percentile = stricter
+
+	// Theta: percentile of user-vs-ball matching scores.
+	var matches []float64
+	for i := 0; i < samples/3; i++ {
+		anchor := &ds.POIs[rng.Intn(len(ds.POIs))]
+		// Euclidean prefilter is enough for threshold estimation.
+		kws := core.NewTopicSet(ds.NumTopics)
+		for j := range ds.POIs {
+			if anchor.Loc.Dist(ds.POIs[j].Loc) <= radius {
+				for _, k := range ds.POIs[j].Keywords {
+					kws.Add(k)
+				}
+			}
+		}
+		for s := 0; s < 3; s++ {
+			u := rng.Intn(len(ds.Users))
+			matches = append(matches, core.MatchScoreSet(ds.Users[u].Interests, kws))
+		}
+	}
+	theta := quantile(matches, percentile)
+
+	return Query{
+		GroupSize: groupSize,
+		Gamma:     gamma,
+		Theta:     theta,
+		Radius:    radius,
+	}, nil
+}
+
+// quantile returns the q-quantile of the values (nearest-rank).
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}

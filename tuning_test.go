@@ -1,0 +1,99 @@
+package gpssn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSuggestQuery(t *testing.T) {
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Seed: 77, RoadVertices: 600, Users: 600, POIs: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := SuggestQuery(net, 3, 0.5)
+	if err != nil {
+		t.Fatalf("SuggestQuery: %v", err)
+	}
+	if q.GroupSize != 3 {
+		t.Errorf("GroupSize = %d", q.GroupSize)
+	}
+	if q.Gamma <= 0 {
+		t.Errorf("Gamma = %v, want positive (friends share interests)", q.Gamma)
+	}
+	if q.Theta < 0 {
+		t.Errorf("Theta = %v", q.Theta)
+	}
+	if q.Radius <= 0 {
+		t.Errorf("Radius = %v", q.Radius)
+	}
+	// Deterministic.
+	q2, err := SuggestQuery(net, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != q2 {
+		t.Errorf("SuggestQuery not deterministic: %+v vs %+v", q, q2)
+	}
+	// A stricter percentile must not loosen gamma.
+	strict, err := SuggestQuery(net, 3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Gamma < q.Gamma-1e-9 {
+		t.Errorf("stricter percentile lowered gamma: %v < %v", strict.Gamma, q.Gamma)
+	}
+}
+
+func TestSuggestQueryAnswersExist(t *testing.T) {
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Seed: 78, RoadVertices: 800, Users: 800, POIs: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := SuggestQuery(net, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamp radius into the index build range.
+	cfg := DefaultConfig()
+	if q.Radius > cfg.RMax {
+		q.Radius = cfg.RMax
+	}
+	if q.Radius < cfg.RMin {
+		q.Radius = cfg.RMin
+	}
+	db, err := Open(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for u := 0; u < 12; u++ {
+		if _, _, err := db.Query(u, q); err == nil {
+			found++
+		} else if !errors.Is(err, ErrNoAnswer) {
+			t.Fatalf("user %d: %v", u, err)
+		}
+	}
+	if found == 0 {
+		t.Error("median-percentile suggested parameters found no answers at all")
+	}
+}
+
+func TestSuggestQueryValidation(t *testing.T) {
+	net := figure1Network(t)
+	if _, err := SuggestQuery(nil, 2, 0.5); err == nil {
+		t.Error("nil network should fail")
+	}
+	if _, err := SuggestQuery(net, 0, 0.5); err == nil {
+		t.Error("group size 0 should fail")
+	}
+	if _, err := SuggestQuery(net, 2, 0); err == nil {
+		t.Error("percentile 0 should fail")
+	}
+	if _, err := SuggestQuery(net, 2, 1); err == nil {
+		t.Error("percentile 1 should fail")
+	}
+}
