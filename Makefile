@@ -1,0 +1,25 @@
+# Verification gate for gpssn. `make check` is the single entry CI runs:
+# vet, build, the tier-1 tests, then a race-detector pass (short mode so
+# the heavy bench package stays fast). See docs/CONCURRENCY.md §5.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-parallel
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# The parallel-refinement speedup table (recorded in EXPERIMENTS.md).
+bench-parallel:
+	$(GO) run ./cmd/gpssn-bench -exp parallel

@@ -12,6 +12,13 @@ import (
 
 // Network is an immutable spatial-social network ready for indexing:
 // construct one with a Builder, a generator, or Load.
+//
+// A built Network never mutates itself, so its accessors are safe to
+// call from any number of goroutines. The one exception is a Network
+// owned by an open DB: dynamic updates (DB.AddPOI, DB.AddUser,
+// DB.AddFriendship) grow the underlying user and POI sets, so accessors
+// racing with those updates must be coordinated by the caller (or simply
+// issued through the DB, whose lock orders them).
 type Network struct {
 	ds *model.Dataset
 }
@@ -73,7 +80,8 @@ func (n *Network) Dataset() *model.Dataset { return n.ds }
 // Save writes the network in the library's binary format.
 func (n *Network) Save(w io.Writer) error { return n.ds.Save(w) }
 
-// Load reads a network written by Save.
+// Load reads a network written by Save. The returned Network is immutable
+// and safe to share across goroutines.
 func Load(r io.Reader) (*Network, error) {
 	ds, err := model.Load(r)
 	if err != nil {
@@ -94,6 +102,10 @@ func NetworkFromDataset(ds *model.Dataset) (*Network, error) {
 // Builder assembles a spatial-social network programmatically. Add the
 // road network first (intersections, then roads), then POIs and users —
 // POIs and users are snapped onto the nearest road segment.
+//
+// A Builder is not safe for concurrent use: assemble the network on one
+// goroutine, call Build, and share the resulting immutable Network
+// freely.
 type Builder struct {
 	topics  int
 	name    string

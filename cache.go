@@ -8,6 +8,11 @@ import (
 // answerCache is a small LRU cache of query answers, invalidated wholesale
 // by any dynamic update (updates can change any answer). Only successful
 // and "no answer" outcomes are cached; errors are not.
+//
+// Safe for concurrent use: every method locks mu, and get returns a
+// snapshot (answers deep-copied under the lock) rather than the live
+// entry, so a concurrent put refreshing the same entry cannot race with
+// a reader.
 type answerCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -39,18 +44,23 @@ func newAnswerCache(capacity int) *answerCache {
 	}
 }
 
-func (c *answerCache) get(key cacheKey) (*cacheEntry, bool) {
+// get returns a snapshot of the entry for key: the answers are cloned
+// under the lock so callers never alias cache-owned slices.
+func (c *answerCache) get(key cacheKey) (answers []Answer, stats Stats, found, ok bool) {
 	if c == nil {
-		return nil, false
+		return nil, Stats{}, false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.items[key]
-	if !ok {
-		return nil, false
+	e, hit := c.items[key]
+	if !hit {
+		return nil, Stats{}, false, false
 	}
 	c.order.MoveToFront(e.elem)
-	return e, true
+	for _, a := range e.answers {
+		answers = append(answers, cloneAnswer(a))
+	}
+	return answers, e.stats, e.found, true
 }
 
 func (c *answerCache) put(key cacheKey, answers []Answer, stats Stats, found bool) {

@@ -1,0 +1,231 @@
+package gpssn
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gpssn/internal/core"
+	"gpssn/internal/socialnet"
+)
+
+func stressNetwork(t testing.TB) *Network {
+	t.Helper()
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Name: "stress", Seed: 7,
+		RoadVertices: 120, Users: 60, POIs: 40, Topics: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestDBConcurrentMixedLoad is the facade-level stress test of the
+// concurrency contract (docs/CONCURRENCY.md): many goroutines issue Query
+// and QueryTopK while another interleaves dynamic updates and a Compact.
+// Every answer must be well-formed, and after the dust settles the DB must
+// agree with the brute-force Baseline oracle on the final network. Run
+// under -race this is the primary whole-stack data-race check.
+func TestDBConcurrentMixedLoad(t *testing.T) {
+	net := stressNetwork(t)
+	db, err := Open(net, Config{
+		RoadPivots: 3, SocialPivots: 3, LeafSize: 16, Fanout: 4,
+		CacheSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.2, Theta: 0.3, Radius: 2}
+	users := []int{0, 5, 11, 23, 37, 52}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	const queriers = 6
+	const iters = 12
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				u := users[(g+it)%len(users)]
+				if it%2 == 0 {
+					ans, st, err := db.Query(u, q)
+					if err != nil && !errors.Is(err, ErrNoAnswer) {
+						t.Errorf("Query(%d): %v", u, err)
+						failures.Add(1)
+						return
+					}
+					if err == nil && (len(ans.Users) != q.GroupSize || ans.MaxDistance < 0) {
+						t.Errorf("Query(%d): malformed answer %+v", u, ans)
+						failures.Add(1)
+						return
+					}
+					if st != nil && st.PageReads < 0 {
+						t.Errorf("Query(%d): negative page reads", u)
+						failures.Add(1)
+						return
+					}
+				} else {
+					answers, _, err := db.QueryTopK(u, q, 3)
+					if err != nil {
+						t.Errorf("QueryTopK(%d): %v", u, err)
+						failures.Add(1)
+						return
+					}
+					for i := 1; i < len(answers); i++ {
+						if answers[i].MaxDistance < answers[i-1].MaxDistance {
+							t.Errorf("QueryTopK(%d): results out of order", u)
+							failures.Add(1)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	// One updater mixing all three update kinds plus a mid-flight Compact.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := db.AddPOI(float64(i), 0.5, i%net.NumTopics()); err != nil {
+				t.Errorf("AddPOI: %v", err)
+				return
+			}
+			interests := make([]float64, net.NumTopics())
+			interests[i%net.NumTopics()] = 0.9
+			u, err := db.AddUser(0.5, float64(i), interests)
+			if err != nil {
+				t.Errorf("AddUser: %v", err)
+				return
+			}
+			if err := db.AddFriendship(users[i], u); err != nil {
+				t.Errorf("AddFriendship: %v", err)
+				return
+			}
+			if i == 2 {
+				if err := db.Compact(); err != nil {
+					t.Errorf("Compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.FailNow()
+	}
+
+	// Quiesced: the DB must agree with the oracle on the final network.
+	oracle := &core.Baseline{DS: db.Network().Dataset()}
+	p := core.Params{Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius}
+	for _, u := range users {
+		ans, _, err := db.Query(u, q)
+		want, _ := oracle.Query(socialnet.UserID(u), p)
+		if errors.Is(err, ErrNoAnswer) {
+			if want.Found {
+				t.Errorf("user %d: DB found nothing, oracle found cost %v", u, want.MaxDist)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Found {
+			t.Errorf("user %d: DB found an answer the oracle says is infeasible", u)
+			continue
+		}
+		if math.Abs(ans.MaxDistance-want.MaxDist) > 1e-6 {
+			t.Errorf("user %d: cost %v != oracle %v", u, ans.MaxDistance, want.MaxDist)
+		}
+	}
+}
+
+// TestDBParallelismDeterministic pins the facade-level determinism
+// guarantee: Parallelism 1 and Parallelism 8 DBs over the same network
+// return deep-equal answers for both Query and QueryTopK.
+func TestDBParallelismDeterministic(t *testing.T) {
+	net := stressNetwork(t)
+	cfg := Config{RoadPivots: 3, SocialPivots: 3, LeafSize: 16, Fanout: 4}
+	cfgSeq := cfg
+	cfgSeq.Parallelism = 1
+	cfgPar := cfg
+	cfgPar.Parallelism = 8
+	seq, err := Open(net, cfgSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Open(net, cfgPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 3, Gamma: 0.2, Theta: 0.3, Radius: 2}
+	for _, u := range []int{0, 13, 41} {
+		a, _, errA := seq.Query(u, q)
+		b, _, errB := par.Query(u, q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("user %d: error mismatch: %v vs %v", u, errA, errB)
+		}
+		if errA == nil && !reflect.DeepEqual(a, b) {
+			t.Fatalf("user %d: answers differ across parallelism:\n  P=1: %+v\n  P=8: %+v", u, a, b)
+		}
+		ak, _, err := seq.QueryTopK(u, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bk, _, err := par.QueryTopK(u, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ak, bk) {
+			t.Fatalf("user %d: top-k differs across parallelism", u)
+		}
+	}
+}
+
+// TestDBConcurrentCacheHits checks the answer cache under concurrency:
+// repeated identical queries from many goroutines must all see the same
+// answer, and the cache get path must never alias cache-owned slices
+// (mutating a returned answer must not poison later hits).
+func TestDBConcurrentCacheHits(t *testing.T) {
+	net := stressNetwork(t)
+	db, err := Open(net, Config{
+		RoadPivots: 3, SocialPivots: 3, LeafSize: 16, Fanout: 4,
+		CacheSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.2, Theta: 0.3, Radius: 2}
+	first, _, err := db.Query(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ans, _, err := db.Query(0, q)
+				if err != nil {
+					t.Errorf("cached Query: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(ans, first) {
+					t.Errorf("cache returned a different answer: %+v vs %+v", ans, first)
+					return
+				}
+				// Scribble on the returned answer; the cache must not care.
+				if len(ans.Users) > 0 {
+					ans.Users[0] = -1
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

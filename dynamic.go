@@ -13,11 +13,18 @@ import (
 // main+delta design), so answers stay optimal at slightly higher cost.
 // Compact rebuilds the indexes to absorb the delta and restore full
 // pruning power.
+//
+// Every updater below takes the DB's exclusive lock, so updates serialize
+// against each other and against in-flight queries: a concurrent query
+// sees the network either entirely before or entirely after an update.
 
 // AddPOI adds a POI at (x, y) — snapped onto the nearest road segment —
 // with the given keywords, and returns its id. The POI is queryable
-// immediately.
+// immediately. Safe for concurrent use; blocks until in-flight queries
+// drain.
 func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
 	if !ok {
 		return 0, fmt.Errorf("gpssn: no road to snap the POI onto")
@@ -38,8 +45,11 @@ func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
 
 // AddUser adds a user with a home at (x, y) and the given interest vector,
 // returning the new id. Add friendships with AddFriendship to make the
-// user eligible for groups of size > 1.
+// user eligible for groups of size > 1. Safe for concurrent use; blocks
+// until in-flight queries drain.
 func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
 	if !ok {
 		return 0, fmt.Errorf("gpssn: no road to snap the user onto")
@@ -59,8 +69,10 @@ func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
 }
 
 // AddFriendship records a friendship between two users (existing or newly
-// added).
+// added). Safe for concurrent use; blocks until in-flight queries drain.
 func (db *DB) AddFriendship(a, b int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.engine.AddFriendship(socialnet.UserID(a), socialnet.UserID(b)); err != nil {
 		return err
 	}
@@ -68,13 +80,21 @@ func (db *DB) AddFriendship(a, b int) error {
 	return nil
 }
 
-// PendingUpdates returns how many dynamic updates await compaction.
-func (db *DB) PendingUpdates() int { return db.engine.PendingUpdates() }
+// PendingUpdates returns how many dynamic updates await compaction. Safe
+// for concurrent use.
+func (db *DB) PendingUpdates() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.PendingUpdates()
+}
 
 // Compact rebuilds the indexes over the grown dataset, absorbing all
-// dynamic updates and restoring full pruning power. Queries issued during
-// Compact are serialized around it.
+// dynamic updates and restoring full pruning power. Safe for concurrent
+// use: queries issued during Compact block until the rebuilt indexes are
+// swapped in.
 func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	fresh, err := Open(db.net, db.cfg)
 	if err != nil {
 		return fmt.Errorf("gpssn: compaction failed: %w", err)

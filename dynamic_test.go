@@ -69,15 +69,16 @@ func TestDynamicNewUserJoinsGroup(t *testing.T) {
 		t.Fatal(err)
 	}
 	// User 4 has weak ties; give them a highly compatible new friend and a
-	// query that only this pair can satisfy.
-	newbie, err := db.AddUser(1.6, 1.0, []float64{0.1, 0.8, 0.5}) // same interests as user 4
+	// query that only this pair can satisfy: γ=1.02 excludes user 4's only
+	// other friend (sim(3,4) = 1.00) but not the newbie (sim = 1.04).
+	newbie, err := db.AddUser(1.6, 1.0, []float64{0.2, 0.9, 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := db.AddFriendship(4, newbie); err != nil {
 		t.Fatal(err)
 	}
-	q := Query{GroupSize: 2, Gamma: 0.9, Theta: 0.3, Radius: 2}
+	q := Query{GroupSize: 2, Gamma: 1.02, Theta: 0.3, Radius: 2}
 	ans, _, err := db.Query(4, q)
 	if err != nil {
 		if errors.Is(err, ErrNoAnswer) {

@@ -33,6 +33,7 @@ package gpssn
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"gpssn/internal/core"
@@ -91,6 +92,11 @@ type Config struct {
 	// CacheSize enables an LRU cache of query answers (entries; 0 = off).
 	// The cache is invalidated by any dynamic update and by Compact.
 	CacheSize int
+	// Parallelism is the number of worker goroutines each query's
+	// refinement stage fans anchor candidates over. 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 runs refinement sequentially. Any setting
+	// returns identical answers — see docs/CONCURRENCY.md.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's default index configuration.
@@ -178,16 +184,29 @@ type Stats struct {
 }
 
 // DB is a queryable spatial-social network: a dataset plus its two GP-SSN
-// indexes. Build one with Open. A DB may be shared across goroutines:
-// queries serialize internally, because the simulated page store counts
-// I/O per query.
+// indexes. Build one with Open.
+//
+// A DB is safe for concurrent use: any number of goroutines may call
+// Query and QueryTopK simultaneously — each query runs with fully
+// isolated per-query state (stats, simulated page-I/O accounting, trace).
+// Dynamic updates (AddPOI, AddUser, AddFriendship) and Compact take an
+// exclusive lock, so they serialize against in-flight queries and each
+// other; queries observe either the state before an update or after it,
+// never a torn intermediate. The full contract, including lock ordering,
+// is documented in docs/CONCURRENCY.md.
 type DB struct {
+	// mu orders queries (read side) against dynamic updates and Compact
+	// (write side). Holding it across compute+cache-fill also keeps stale
+	// answers out of the cache: an update cannot interleave between a
+	// query's engine call and its cache put.
+	mu     sync.RWMutex
 	net    *Network
 	engine *core.Engine
 	cfg    Config
 	cache  *answerCache
 
-	// BuildTime is how long index construction took.
+	// BuildTime is how long index construction took. It is written by Open
+	// and Compact; read it only when no Compact can be running.
 	BuildTime time.Duration
 }
 
@@ -226,6 +245,7 @@ func Open(net *Network, cfg Config) (*DB, error) {
 	engine := core.NewEngine(ds, road, social, core.Options{
 		SamplingRefine: c.Sampling,
 		UseCorollary2:  c.Corollary2,
+		Parallelism:    c.Parallelism,
 	})
 	return &DB{
 		net: net, engine: engine, cfg: c,
@@ -234,23 +254,26 @@ func Open(net *Network, cfg Config) (*DB, error) {
 	}, nil
 }
 
-// Network returns the underlying network.
+// Network returns the underlying network. Its accessors are safe to call
+// concurrently with queries; coordinate externally before mixing them with
+// dynamic updates (updates grow the user and POI sets the accessors read).
 func (db *DB) Network() *Network { return db.net }
 
 // Query answers a GP-SSN query for the given issuer. It returns
-// ErrNoAnswer (wrapped) when no feasible group/POI pair exists.
+// ErrNoAnswer (wrapped) when no feasible group/POI pair exists. Safe for
+// concurrent use: any number of goroutines may call Query on one DB.
 func (db *DB) Query(user int, q Query) (*Answer, *Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if user < 0 || user >= len(db.net.ds.Users) {
 		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
 	}
 	key := cacheKey{user: user, q: q, k: 1}
-	if e, ok := db.cache.get(key); ok {
-		st := e.stats
-		if !e.found {
-			return nil, &st, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
+	if answers, stats, found, ok := db.cache.get(key); ok {
+		if !found {
+			return nil, &stats, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
 		}
-		ans := cloneAnswer(e.answers[0])
-		return &ans, &st, nil
+		return &answers[0], &stats, nil
 	}
 	p := core.Params{
 		Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius,
@@ -287,7 +310,10 @@ func (db *DB) Query(user int, q Query) (*Answer, *Stats, error) {
 
 // QueryTopK returns up to k answers with distinct anchor POIs, cheapest
 // first. It returns an empty slice (and no error) when nothing is feasible.
+// Safe for concurrent use, like Query.
 func (db *DB) QueryTopK(user int, q Query, k int) ([]Answer, *Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if user < 0 || user >= len(db.net.ds.Users) {
 		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
 	}
@@ -321,8 +347,13 @@ func (db *DB) QueryTopK(user int, q Query, k int) ([]Answer, *Stats, error) {
 }
 
 // Engine exposes the internal engine for the benchmark harness. External
-// users should stick to Query.
-func (db *DB) Engine() *core.Engine { return db.engine }
+// users should stick to Query. The engine itself is concurrent-safe, but
+// the pointer is replaced by Compact — do not hold it across a Compact.
+func (db *DB) Engine() *core.Engine {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine
+}
 
 // ErrNoAnswer is returned (wrapped) when a query has no feasible result.
 var ErrNoAnswer = fmt.Errorf("gpssn: no feasible answer")

@@ -98,6 +98,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"appP-gamma", "appP-theta", "appP-r", "appP-pivots", "appP-vs",
 		"ablation-pivots", "ablation-indexpruning", "ablation-distance",
 		"ablation-rtree", "ablation-sampling", "ext-metrics", "ext-topk",
+		"parallel",
 	}
 	for _, name := range want {
 		if _, ok := Find(name); !ok {

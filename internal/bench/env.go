@@ -73,6 +73,9 @@ type EnvSpec struct {
 	DisableIndexPruning    bool
 	DisableDistancePruning bool
 	SamplingRefine         bool
+	// Parallelism is the refinement worker count (0 = GOMAXPROCS, 1 =
+	// sequential). Any value returns identical answers; only CPU time moves.
+	Parallelism int
 }
 
 func (s EnvSpec) withDefaults() EnvSpec {
@@ -198,6 +201,7 @@ func buildEnv(spec EnvSpec) (*Env, error) {
 		DisableIndexPruning:    spec.DisableIndexPruning,
 		DisableDistancePruning: spec.DisableDistancePruning,
 		SamplingRefine:         spec.SamplingRefine,
+		Parallelism:            spec.Parallelism,
 		// The paper's refinement samples candidate groups; a generous
 		// branch-and-bound budget is strictly more exact than sampling
 		// while bounding worst-case latency on adversarial issuers.

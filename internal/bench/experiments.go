@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -76,6 +77,7 @@ func Experiments() []Experiment {
 		{"ablation-sampling", "Ablation: exact refinement vs sampling", runAblationSampling},
 		{"ext-metrics", "Extension: Jaccard/Hamming interest metrics", runExtMetrics},
 		{"ext-topk", "Extension: top-k GP-SSN", runExtTopK},
+		{"parallel", "Extension: parallel refinement speedup vs worker count", runParallel},
 	}
 }
 
@@ -525,6 +527,51 @@ func runExtMetrics(w io.Writer, cfg RunConfig) error {
 				int(pct(agg.Found, agg.Queries)))
 		}
 	}
+	return nil
+}
+
+// runParallel measures refinement wall time as the per-query worker count
+// grows, verifying along the way that every setting returns the same
+// answers (the determinism contract of docs/CONCURRENCY.md). Speedup is
+// bounded above by min(workers, GOMAXPROCS); on a single-CPU host all
+// rows collapse to ~1x by construction.
+func runParallel(w io.Writer, cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "# Extension: parallel refinement (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-9s %8s %14s %10s %10s\n", "dataset", "workers", "CPU", "I/O", "speedup")
+	workerCounts := []int{1, 2, 4, 0} // 0 = GOMAXPROCS
+	for _, k := range synthKinds {
+		var seqCPU time.Duration
+		var seqFound int
+		for _, par := range workerCounts {
+			spec := specFor(k, cfg)
+			spec.Parallelism = par
+			env, err := GetEnv(spec)
+			if err != nil {
+				return err
+			}
+			users := env.QueryUsers(cfg.Queries, cfg.Seed+100)
+			agg, err := env.RunQueries(defaultParams(), users)
+			if err != nil {
+				return err
+			}
+			label := fmt.Sprintf("%d", par)
+			if par == 0 {
+				label = fmt.Sprintf("auto(%d)", runtime.GOMAXPROCS(0))
+			}
+			if par == 1 {
+				seqCPU = agg.AvgCPU
+				seqFound = agg.Found
+			} else if agg.Found != seqFound {
+				return fmt.Errorf("parallel: found-count diverged at %d workers (%d vs %d)",
+					par, agg.Found, seqFound)
+			}
+			speedup := float64(seqCPU) / float64(agg.AvgCPU)
+			fmt.Fprintf(w, "%-9s %8s %14s %10.0f %9.2fx\n",
+				k, label, agg.AvgCPU.Round(time.Microsecond), agg.AvgIO, speedup)
+		}
+	}
+	fmt.Fprintln(w, "# answers are identical at every worker count; only wall time moves")
 	return nil
 }
 

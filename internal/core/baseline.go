@@ -116,13 +116,19 @@ func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, in
 					}
 				}
 			}
-			if cost < anchorBest.MaxDist {
-				sortedS := append([]socialnet.UserID(nil), S...)
-				sort.Slice(sortedS, func(i, j int) bool { return sortedS[i] < sortedS[j] })
-				sortedR := append([]model.POIID(nil), ball...)
-				sort.Slice(sortedR, func(i, j int) bool { return sortedR[i] < sortedR[j] })
-				anchorBest = Result{Found: true, S: sortedS, R: sortedR, Anchor: anchor, MaxDist: cost}
+			// Canonical per-anchor choice (same rule the engine uses):
+			// cheaper cost wins, equal-cost ties go to the
+			// lexicographically smallest sorted group.
+			if math.IsInf(cost, 1) || cost > anchorBest.MaxDist {
+				continue
 			}
+			sortedS := sortedUsers(S)
+			if cost == anchorBest.MaxDist && anchorBest.Found && !lexLessUsers(sortedS, anchorBest.S) {
+				continue
+			}
+			sortedR := append([]model.POIID(nil), ball...)
+			sort.Slice(sortedR, func(i, j int) bool { return sortedR[i] < sortedR[j] })
+			anchorBest = Result{Found: true, S: sortedS, R: sortedR, Anchor: anchor, MaxDist: cost}
 		}
 		if anchorBest.Found {
 			keeper.add(anchorBest)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"gpssn/internal/index"
 	"gpssn/internal/model"
+	"gpssn/internal/pagesim"
 	"gpssn/internal/roadnet"
 	"gpssn/internal/rtree"
 	"gpssn/internal/socialnet"
@@ -40,22 +42,40 @@ type Options struct {
 	// RefineBudget caps the branch-and-bound expansions per anchor during
 	// refinement (0 = unlimited, the default). On adversarially dense
 	// social graphs a cap bounds query latency at the cost of exactness:
-	// the answer is still feasible but may not be optimal.
+	// the answer is still feasible but may not be optimal. With a budget
+	// set and Parallelism > 1, where the budget cuts off depends on how
+	// fast the shared incumbent tightened, so budget-capped answers may
+	// vary slightly across runs (unbudgeted answers never do).
 	RefineBudget int
+	// Parallelism is the number of worker goroutines refinement fans
+	// anchor candidates over (0 = runtime.GOMAXPROCS(0), 1 = sequential).
+	// Any setting returns identical answers; see docs/CONCURRENCY.md and
+	// docs/ALGORITHMS.md for the soundness and determinism arguments.
+	Parallelism int
 }
 
 // Engine answers GP-SSN queries over a dataset through the I_R and I_S
 // indexes (Algorithm 2 plus the refinement of Section 5).
+//
+// Concurrency: Query and QueryTopK may be called from any number of
+// goroutines — they take the read side of mu and keep all per-query
+// mutable state (I/O trackers, stats, trace buffer) in a query context.
+// AddPOI, AddUser, and AddFriendship take the write side, so updates are
+// serialized against in-flight queries. See docs/CONCURRENCY.md.
 type Engine struct {
 	DS     *model.Dataset
 	Road   *index.RoadIndex
 	Social *index.SocialIndex
 	Opts   Options
 
-	// mu serializes queries and dynamic updates: the simulated page stores
-	// count I/O per query, so operations are mutually exclusive (callers
-	// may still share one Engine across goroutines).
-	mu sync.Mutex
+	// mu is the query/update lock: queries hold it shared (indexes, the
+	// dataset, and the dyn delta are read-only during a query), dynamic
+	// updates hold it exclusively while appending to the delta stores.
+	mu sync.RWMutex
+
+	// traceMu serializes flushing per-query trace buffers to Opts.Trace,
+	// so concurrent queries interleave whole traces, not lines.
+	traceMu sync.Mutex
 
 	// dyn tracks the main+delta boundaries for dynamic updates.
 	dyn dynamicState
@@ -83,7 +103,10 @@ type Result struct {
 }
 
 // Stats reports per-query cost and pruning-power counters; the experiment
-// harness aggregates them into the paper's figures.
+// harness aggregates them into the paper's figures. Every counter —
+// including PageReads — is accumulated in per-query state (see qctx), so
+// concurrent queries never bleed into each other's numbers and Summary is
+// correct by construction regardless of interleaving.
 type Stats struct {
 	CPUTime   time.Duration
 	PageReads int64
@@ -116,8 +139,56 @@ type Stats struct {
 	PairsTotalLog2 float64 // log2 of the total pair count (it overflows)
 }
 
-// Query answers a GP-SSN query for issuer uq under parameters p. Queries
-// are serialized internally, so one Engine may be shared by goroutines.
+// qctx is the per-query mutable state: stats, page-I/O trackers with their
+// private cold buffer pools, and the trace buffer. One qctx belongs to one
+// query; nothing in it is shared, which is what makes concurrent queries
+// against a single Engine safe and their I/O accounting exact.
+type qctx struct {
+	st     *Stats
+	road   *pagesim.Tracker
+	social *pagesim.Tracker
+	trace  *bytes.Buffer
+}
+
+// newQctx allocates a query context with fresh cold-cache trackers (the
+// same per-query I/O semantics the engine previously obtained by resetting
+// the shared stores).
+func (e *Engine) newQctx(st *Stats) *qctx {
+	q := &qctx{
+		st:     st,
+		road:   e.Road.Store.NewTracker(),
+		social: e.Social.Store.NewTracker(),
+	}
+	if e.Opts.Trace != nil {
+		q.trace = &bytes.Buffer{}
+	}
+	return q
+}
+
+// tracef buffers a formatted trace line when tracing is enabled.
+func (q *qctx) tracef(format string, args ...interface{}) {
+	if q.trace == nil {
+		return
+	}
+	fmt.Fprintf(q.trace, format+"\n", args...)
+}
+
+// finish stamps the timing/I/O totals and flushes the trace buffer in one
+// piece (so traces of concurrent queries do not interleave line by line).
+func (e *Engine) finish(q *qctx, start time.Time, p Params) {
+	q.st.CPUTime = time.Since(start)
+	q.st.PageReads = q.road.Reads() + q.social.Reads()
+	q.st.PairsTotalLog2 = pairsTotalLog2(len(e.DS.Users)-1, p.Tau-1, len(e.DS.POIs))
+	if q.trace != nil && e.Opts.Trace != nil {
+		e.traceMu.Lock()
+		e.Opts.Trace.Write(q.trace.Bytes())
+		e.traceMu.Unlock()
+	}
+}
+
+// Query answers a GP-SSN query for issuer uq under parameters p. Safe for
+// concurrent use: any number of goroutines may query one Engine, each call
+// gets its own isolated Stats and cold-cache I/O accounting.
 func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 	var st Stats
 	if err := p.Validate(e.Road.RMin, e.Road.RMax); err != nil {
@@ -126,15 +197,10 @@ func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 	if uq < 0 || int(uq) >= len(e.DS.Users) {
 		return Result{}, st, fmt.Errorf("core: query user %d out of range", uq)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	start := time.Now()
-
-	// Deterministic cold-cache I/O accounting per query.
-	e.Road.Store.ResetStats()
-	e.Road.Store.DropPool()
-	e.Social.Store.ResetStats()
-	e.Social.Store.DropPool()
+	q := e.newQctx(&st)
 
 	st.SNUsersTotal = len(e.DS.Users)
 	st.RNPOIsTotal = len(e.DS.POIs)
@@ -143,16 +209,14 @@ func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 	// the pruning threshold δ with the cost of a verified feasible
 	// solution, so distance pruning is armed from the first index level.
 	probe := e.probe(uq, p)
-	e.tracef("probe: found=%v cost=%.4f", probe.res.Found, probe.res.MaxDist)
-	trav := e.traverse(uq, p, 1, probe.res.MaxDist, &st)
-	e.tracef("traversal: %d candidate users, %d candidate anchors, delta=%.4f",
+	q.tracef("probe: found=%v cost=%.4f", probe.res.Found, probe.res.MaxDist)
+	trav := e.traverse(uq, p, 1, probe.res.MaxDist, q)
+	q.tracef("traversal: %d candidate users, %d candidate anchors, delta=%.4f",
 		len(trav.candUsers), len(trav.candAnchors), trav.delta)
-	res := e.refine(uq, p, 1, trav, probe, &st)
-	e.tracef("refined: pairs evaluated=%d", st.PairsEvaluated)
+	res := e.refine(uq, p, 1, trav, probe, q)
+	q.tracef("refined: pairs evaluated=%d", st.PairsEvaluated)
 
-	st.CPUTime = time.Since(start)
-	st.PageReads = e.Road.Store.Reads() + e.Social.Store.Reads()
-	st.PairsTotalLog2 = pairsTotalLog2(len(e.DS.Users)-1, p.Tau-1, len(e.DS.POIs))
+	e.finish(q, start, p)
 	if len(res) == 0 {
 		return Result{MaxDist: math.Inf(1)}, st, nil
 	}
@@ -162,7 +226,8 @@ func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 // QueryTopK returns up to k GP-SSN answers with distinct anchor POIs, in
 // increasing maximum-distance order — the top-k extension listed in
 // DESIGN.md. k = 1 is exactly Query. Distance pruning adapts its threshold
-// δ to the k-th best known upper bound so no top-k member is lost.
+// δ to the k-th best known upper bound so no top-k member is lost. Safe
+// for concurrent use, like Query.
 func (e *Engine) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, Stats, error) {
 	var st Stats
 	if k < 1 {
@@ -174,13 +239,10 @@ func (e *Engine) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, Stat
 	if uq < 0 || int(uq) >= len(e.DS.Users) {
 		return nil, st, fmt.Errorf("core: query user %d out of range", uq)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	start := time.Now()
-	e.Road.Store.ResetStats()
-	e.Road.Store.DropPool()
-	e.Social.Store.ResetStats()
-	e.Social.Store.DropPool()
+	q := e.newQctx(&st)
 	st.SNUsersTotal = len(e.DS.Users)
 	st.RNPOIsTotal = len(e.DS.POIs)
 
@@ -189,12 +251,10 @@ func (e *Engine) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, Stat
 	if k == 1 {
 		delta0 = probe.res.MaxDist
 	}
-	trav := e.traverse(uq, p, k, delta0, &st)
-	res := e.refine(uq, p, k, trav, probe, &st)
+	trav := e.traverse(uq, p, k, delta0, q)
+	res := e.refine(uq, p, k, trav, probe, q)
 
-	st.CPUTime = time.Since(start)
-	st.PageReads = e.Road.Store.Reads() + e.Social.Store.Reads()
-	st.PairsTotalLog2 = pairsTotalLog2(len(e.DS.Users)-1, p.Tau-1, len(e.DS.POIs))
+	e.finish(q, start, p)
 	return res, st, nil
 }
 
@@ -208,7 +268,8 @@ type traversal struct {
 // traverse runs Algorithm 2's synchronized index traversal: I_S level by
 // level with user pruning, I_R via a min-heap keyed by distance lower
 // bounds, maintaining the pruning threshold δ.
-func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float64, st *Stats) traversal {
+func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float64, q *qctx) traversal {
+	st := q.st
 	uqUser := e.DS.User(uq)
 	region := NewPruneRegion(uqUser.Interests, p.Gamma)
 	uqRD := e.userRDOf(uq)
@@ -242,7 +303,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 	// from processed leaves. Delta users join up front so every δ-guard
 	// evaluation covers them.
 	sNodes := []*index.SNode{e.Social.Root}
-	e.Social.Access(e.Social.Root)
+	e.Social.AccessTracked(e.Social.Root, q.social)
 	e.scanDeltaUsers(uq, p, region, &tr)
 
 	// maxUbRD[k] = max over S_cand entries of ub dist_RN(·, rp_k); feeds
@@ -292,7 +353,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 
 	// I_R heap seeded with the root (Algorithm 2 lines 2-3).
 	heap := []heapEntry{{node: e.Road.Tree.Root(), key: 0}}
-	e.Road.Access(e.Road.Tree.Root())
+	e.Road.AccessTracked(e.Road.Tree.Root(), q.road)
 
 	// processRNLevel pops every entry of the current heap, applies the
 	// node/object pruning, and returns the next level's heap (Algorithm 2
@@ -373,7 +434,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 						}
 					}
 				}
-				e.Road.Access(child)
+				e.Road.AccessTracked(child, q.road)
 				next = append(next, heapEntry{node: child, key: nodeDistLb(uqRD, m.LbDist, m.UbDist)})
 			}
 		}
@@ -433,14 +494,14 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 						}
 					}
 				}
-				e.Social.Access(c)
+				e.Social.AccessTracked(c, q.social)
 				nextNodes = append(nextNodes, c)
 			}
 		}
 		sNodes = nextNodes
 		recomputeMaxUb()
 		heap = processRNLevel(heap)
-		e.tracef("level %d: S_cand nodes=%d users=%d, H_R entries=%d, delta=%.4f",
+		q.tracef("level %d: S_cand nodes=%d users=%d, H_R entries=%d, delta=%.4f",
 			level, len(sNodes), len(tr.candUsers), len(heap), tr.delta)
 	}
 
@@ -469,14 +530,6 @@ func indexInterestPrunable(p Params, region *PruneRegion, anchor []float64, n *i
 		return region.ContainsMBR(n.LbW, n.UbW)
 	}
 	return SimilarityUpperBound(p.Metric, anchor, n.LbW, n.UbW) < p.Gamma
-}
-
-// tracef writes a formatted trace line when tracing is enabled.
-func (e *Engine) tracef(format string, args ...interface{}) {
-	if e.Opts.Trace == nil {
-		return
-	}
-	fmt.Fprintf(e.Opts.Trace, format+"\n", args...)
 }
 
 // markUQPath marks the nodes on the root-to-leaf path of u_q. It returns

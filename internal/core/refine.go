@@ -3,7 +3,10 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gpssn/internal/geo"
 
@@ -144,8 +147,46 @@ func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
 	return pr
 }
 
-// resultKeeper holds the best k results so far, sorted by MaxDist, with
-// distinct anchors.
+// lexLessUsers compares two sorted user groups lexicographically.
+func lexLessUsers(a, b []socialnet.UserID) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortedUsers returns a sorted copy of a user group (the canonical form
+// results carry).
+func sortedUsers(s []socialnet.UserID) []socialnet.UserID {
+	out := append([]socialnet.UserID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// resultLess is the canonical total order on results: cost first, then
+// anchor id, then the lexicographically smallest sorted user group (r.S is
+// always sorted before reaching the keeper). Having no arrival-order
+// component is what makes refinement's answers independent of the order
+// in which workers report them.
+func resultLess(a, b Result) bool {
+	if a.MaxDist != b.MaxDist {
+		return a.MaxDist < b.MaxDist
+	}
+	if a.Anchor != b.Anchor {
+		return a.Anchor < b.Anchor
+	}
+	return lexLessUsers(a.S, b.S)
+}
+
+// resultKeeper holds the k canonically-best results so far, in resultLess
+// order, with distinct anchors. Not safe for concurrent use on its own;
+// refinement workers go through sharedKeeper.
 type resultKeeper struct {
 	k     int
 	items []Result
@@ -160,12 +201,12 @@ func (rk *resultKeeper) bound() float64 {
 	return rk.items[len(rk.items)-1].MaxDist
 }
 
-// add inserts r, deduplicating by anchor (keeping the cheaper) and
-// trimming to k.
+// add inserts r, deduplicating by anchor (keeping the canonically better
+// result) and trimming to k.
 func (rk *resultKeeper) add(r Result) {
 	for i := range rk.items {
 		if rk.items[i].Anchor == r.Anchor {
-			if r.MaxDist < rk.items[i].MaxDist {
+			if resultLess(r, rk.items[i]) {
 				rk.items = append(rk.items[:i], rk.items[i+1:]...)
 				break
 			}
@@ -173,7 +214,7 @@ func (rk *resultKeeper) add(r Result) {
 		}
 	}
 	pos := len(rk.items)
-	for pos > 0 && rk.items[pos-1].MaxDist > r.MaxDist {
+	for pos > 0 && resultLess(r, rk.items[pos-1]) {
 		pos--
 	}
 	rk.items = append(rk.items, Result{})
@@ -184,6 +225,69 @@ func (rk *resultKeeper) add(r Result) {
 	}
 }
 
+// sharedKeeper is the concurrent wrapper refinement workers share: the
+// result list is mutex-guarded, and the pruning bound is additionally
+// published through an atomic so the hot pruning checks never contend on
+// the mutex. The bound is monotone non-increasing, so a stale read can
+// only under-prune (wasted work), never over-prune (a lost answer) — the
+// soundness argument in docs/CONCURRENCY.md.
+type sharedKeeper struct {
+	mu    sync.Mutex
+	rk    resultKeeper
+	bound atomic.Uint64 // math.Float64bits of the k-th best cost
+}
+
+func newSharedKeeper(k int) *sharedKeeper {
+	sk := &sharedKeeper{rk: resultKeeper{k: k}}
+	sk.bound.Store(math.Float64bits(math.Inf(1)))
+	return sk
+}
+
+// Bound returns the published pruning bound. Lock-free.
+func (sk *sharedKeeper) Bound() float64 {
+	return math.Float64frombits(sk.bound.Load())
+}
+
+// add inserts a result and tightens the published bound via a
+// compare-and-swap loop that only ever lowers it, so racing publishers
+// cannot move the bound backwards.
+func (sk *sharedKeeper) add(r Result) {
+	sk.mu.Lock()
+	sk.rk.add(r)
+	b := sk.rk.bound()
+	sk.mu.Unlock()
+	for {
+		old := sk.bound.Load()
+		if math.Float64frombits(old) <= b {
+			return
+		}
+		if sk.bound.CompareAndSwap(old, math.Float64bits(b)) {
+			return
+		}
+	}
+}
+
+// vertexDistCache shares per-user full-Dijkstra distance arrays across
+// refinement workers. Two workers may race to compute the same user's
+// array; both compute identical values, so last-write-wins is benign.
+type vertexDistCache struct {
+	mu sync.Mutex
+	m  map[socialnet.UserID][]float64
+}
+
+func (c *vertexDistCache) get(u socialnet.UserID) ([]float64, bool) {
+	c.mu.Lock()
+	dv, ok := c.m[u]
+	c.mu.Unlock()
+	return dv, ok
+}
+
+func (c *vertexDistCache) put(u socialnet.UserID, dv []float64) {
+	c.mu.Lock()
+	c.m[u] = dv
+	c.mu.Unlock()
+}
+
 // refine is Algorithm 2 lines 29-31: exact filtering of the candidate sets
 // and enumeration of the user-POI group pairs (S, R'(o_i)) to produce the
 // actual GP-SSN answers. R is materialized as the road-network ball of
@@ -191,7 +295,15 @@ func (rk *resultKeeper) add(r Result) {
 // enumeration of connected τ-subsets containing u_q (or by the
 // random-expansion sampling extension when Opts.SamplingRefine is set).
 // It returns the best k results with distinct anchors, cheapest first.
-func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, probe probeResult, st *Stats) []Result {
+//
+// Anchors are independent given the shared incumbent, so they are fanned
+// out over Opts.Parallelism workers pulling from the duq-sorted list. All
+// pruning against the shared bound is strict (>), so candidates tying the
+// bound survive, and ties are resolved by the keeper's canonical order —
+// that is why any worker schedule returns identical answers (the
+// determinism argument in docs/ALGORITHMS.md).
+func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, probe probeResult, q *qctx) []Result {
+	st := q.st
 	ds := e.DS
 	uqUser := ds.User(uq)
 
@@ -234,22 +346,22 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	for _, a := range tr.candAnchors {
 		anchors = append(anchors, anchorCand{id: a, duq: e.attachDistVia(ds.POIs[a].At, uqDist)})
 	}
-	sort.Slice(anchors, func(i, j int) bool { return anchors[i].duq < anchors[j].duq })
+	sort.Slice(anchors, func(i, j int) bool {
+		if anchors[i].duq != anchors[j].duq {
+			return anchors[i].duq < anchors[j].duq
+		}
+		return anchors[i].id < anchors[j].id
+	})
 
-	keeper := &resultKeeper{k: k}
+	keeper := newSharedKeeper(k)
 	if probe.res.Found {
 		keeper.add(probe.res) // feasible: a sound incumbent
 	}
-	distCache := probe.cache
-	distCache[uq] = uqDist
+	distCache := &vertexDistCache{m: probe.cache}
+	distCache.put(uq, uqDist)
+	var pairs atomic.Int64
 
-	for _, ac := range anchors {
-		// maxdist(S, ball) >= dist(u_q, anchor): once the keeper is full
-		// and even the anchor distance cannot beat the k-th best, no later
-		// anchor can either (anchors are sorted by duq).
-		if ac.duq >= keeper.bound() {
-			break
-		}
+	processAnchor := func(ac anchorCand) {
 		ball := e.ballAround(ac.id, p.R)
 		ballAtts := make([]roadnet.Attach, len(ball))
 		for i, o := range ball {
@@ -262,16 +374,17 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 			}
 		}
 		if MatchScoreSet(uqUser.Interests, kws) < p.Theta {
-			continue
+			return
 		}
 		// M(u) = max_{o in ball} dist_RN(u, o); the group cost is
 		// max_{u in S} M(u). With a finite incumbent the computation runs a
 		// Dijkstra truncated at the current bound: a ball vertex left
-		// unsettled proves M(u) >= bound, so the user cannot improve the
-		// answer and +Inf is a sound stand-in.
+		// unsettled proves M(u) > bound, so the user cannot be in an answer
+		// that survives the keeper and +Inf is a sound stand-in (vertices
+		// exactly at the bound are settled, so ties stay exact).
 		mOf := func(u socialnet.UserID) float64 {
-			if b := keeper.bound(); !math.IsInf(b, 1) {
-				if dv, ok := distCache[u]; ok {
+			if b := keeper.Bound(); !math.IsInf(b, 1) {
+				if dv, ok := distCache.get(u); ok {
 					return mFromVertexDist(e, u, ball, dv)
 				}
 				dists := ds.Road.DistAttachWithin(ds.Users[u].At, b, ballAtts)
@@ -286,33 +399,36 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 				}
 				return m
 			}
-			dv, ok := distCache[u]
+			dv, ok := distCache.get(u)
 			if !ok {
 				dv = e.userVertexDist(u)
-				distCache[u] = dv
+				distCache.put(u, dv)
 			}
 			return mFromVertexDist(e, u, ball, dv)
 		}
 		mUq := mOf(uq)
-		if mUq >= keeper.bound() {
-			continue
+		// Strict comparison: a cost exactly equal to the bound may still
+		// tie the k-th best and win the canonical tie-break, so it must
+		// survive; +Inf (unreachable ball) never can.
+		if math.IsInf(mUq, 1) || mUq > keeper.Bound() {
+			return
 		}
 		// No incumbent yet (the probe failed): grow one greedy feasible
 		// group on this anchor first, so every later distance computation
 		// runs as a bounded Dijkstra instead of a full one. Sound — the
 		// greedy result is feasible and the exact enumeration below still
-		// sees this anchor.
-		if math.IsInf(keeper.bound(), 1) && p.Tau > 1 {
-			if S, cost, ok := e.greedyGroup(uq, p, ball, kws, mUq, mOf); ok {
-				sorted := append([]socialnet.UserID(nil), S...)
-				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-				keeper.add(Result{Found: true, S: sorted, R: ball, Anchor: ac.id, MaxDist: cost})
+		// sees this anchor, replacing the greedy entry with the anchor's
+		// canonical best (so whether the seeding ran never shows in the
+		// answer).
+		if math.IsInf(keeper.Bound(), 1) && p.Tau > 1 {
+			if S, cost, ok := e.greedyGroup(uq, p, ball, kws, mUq, mOf); ok && !math.IsInf(cost, 1) {
+				keeper.add(Result{Found: true, S: sortedUsers(S), R: ball, Anchor: ac.id, MaxDist: cost})
 			}
 		}
 		if p.Tau == 1 {
-			st.PairsEvaluated++
+			pairs.Add(1)
 			keeper.add(Result{Found: true, S: []socialnet.UserID{uq}, R: ball, Anchor: ac.id, MaxDist: mUq})
-			continue
+			return
 		}
 
 		// Eligible companions for this anchor: θ-match the ball and have a
@@ -332,7 +448,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 			}
 		}
 		if matching < p.Tau-1 {
-			continue
+			return
 		}
 		for _, u := range cand {
 			if MatchScoreSet(ds.Users[u].Interests, kws) < p.Theta {
@@ -340,17 +456,17 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 			}
 			// Pivot lower bound of dist(u, anchor) before paying for the
 			// exact per-user Dijkstra: M(u) >= dist(u, anchor).
-			if roadnet.LowerBound(e.userRDOf(u), anchorRD) >= keeper.bound() {
+			if roadnet.LowerBound(e.userRDOf(u), anchorRD) > keeper.Bound() {
 				continue
 			}
 			m := mOf(u)
-			if math.Max(m, mUq) >= keeper.bound() {
+			if math.IsInf(m, 1) || math.Max(m, mUq) > keeper.Bound() {
 				continue
 			}
 			comps = append(comps, comp{u: u, m: m})
 		}
 		if len(comps) < p.Tau-1 {
-			continue
+			return
 		}
 		sort.Slice(comps, func(i, j int) bool { return comps[i].m < comps[j].m })
 		users := make([]socialnet.UserID, len(comps))
@@ -363,25 +479,61 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		// must reach at least τ-1 eligible companions through eligible
 		// users (pairwise-γ can only shrink that set further).
 		if !reachableEnough(ds, uq, users, p.Tau) {
-			continue
+			return
 		}
 
 		var S []socialnet.UserID
 		var cost float64
 		if e.Opts.SamplingRefine {
-			S, cost = e.sampleGroups(uq, p, users, mv, keeper.bound(), st)
+			S, cost = e.sampleGroups(uq, p, users, mv, keeper.Bound(), &pairs)
 		} else {
-			S, cost = e.enumerateGroups(uq, p, users, mv, keeper.bound(), st)
+			S, cost = e.enumerateGroups(uq, p, users, mv, keeper.Bound(), &pairs)
 		}
 		if S != nil {
 			keeper.add(Result{Found: true, S: S, R: ball, Anchor: ac.id, MaxDist: cost})
 		}
 	}
-	for i := range keeper.items {
-		sort.Slice(keeper.items[i].S, func(a, b int) bool { return keeper.items[i].S[a] < keeper.items[i].S[b] })
-		sort.Slice(keeper.items[i].R, func(a, b int) bool { return keeper.items[i].R[a] < keeper.items[i].R[b] })
+
+	// Fan the duq-sorted anchors over the worker pool. Workers pull the
+	// next anchor through an atomic index; a worker stops pulling once the
+	// next anchor's duq exceeds the bound — duq lower-bounds the group
+	// cost (the anchor is in its own ball) and later anchors are farther
+	// still, so nothing those anchors could produce survives the keeper.
+	par := e.Opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	return keeper.items
+	if par > len(anchors) {
+		par = len(anchors)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(anchors) {
+					return
+				}
+				ac := anchors[i]
+				if math.IsInf(ac.duq, 1) || ac.duq > keeper.Bound() {
+					return
+				}
+				processAnchor(ac)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st.PairsEvaluated = pairs.Load()
+	items := keeper.rk.items
+	for i := range items {
+		sort.Slice(items[i].S, func(a, b int) bool { return items[i].S[a] < items[i].S[b] })
+		sort.Slice(items[i].R, func(a, b int) bool { return items[i].R[a] < items[i].R[b] })
+	}
+	return items
 }
 
 // mFromVertexDist evaluates M(u) from a full per-user vertex distance
@@ -575,8 +727,13 @@ func (e *Engine) attachDistVia(at roadnet.Attach, dist []float64) float64 {
 // enumerateGroups finds the connected τ-subset S containing u_q with
 // pairwise similarity >= γ minimizing max M(u), by ESU-style enumeration of
 // connected induced subgraphs with branch-and-bound on the incumbent. It
-// returns (nil, +Inf) when no feasible group beats `bound`.
-func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, st *Stats) ([]socialnet.UserID, float64) {
+// returns (nil, +Inf) when no feasible group has cost <= bound. All
+// pruning is strict and equal-cost groups are tie-broken to the
+// lexicographically smallest sorted S, so the returned group is the
+// anchor's canonical optimum — independent of the bound snapshot the
+// caller passed (as long as it is >= the optimum) and hence of worker
+// timing. The group is returned sorted.
+func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, pairs *atomic.Int64) ([]socialnet.UserID, float64) {
 	ds := e.DS
 	eligible := make(map[socialnet.UserID]bool, len(users)+1)
 	for _, u := range users {
@@ -610,20 +767,28 @@ func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialne
 			return // budget exhausted: keep the best found so far
 		}
 		expansions++
-		if curMax >= bestCost {
-			return // the incumbent already beats every extension
+		if curMax > bestCost {
+			return // strictly worse than the incumbent: no extension helps
 		}
 		if len(cur) == p.Tau {
-			st.PairsEvaluated++
-			if curMax < bestCost {
-				bestCost = curMax
-				bestS = append([]socialnet.UserID(nil), cur...)
+			pairs.Add(1)
+			if !math.IsInf(curMax, 1) {
+				if curMax < bestCost {
+					bestCost = curMax
+					bestS = sortedUsers(cur)
+				} else if curMax == bestCost {
+					// Equal-cost tie: keep the canonical (lex-smallest
+					// sorted) group so the choice is order-independent.
+					if s := sortedUsers(cur); bestS == nil || lexLessUsers(s, bestS) {
+						bestS = s
+					}
+				}
 			}
 			return
 		}
 		localForbidden := map[socialnet.UserID]bool{}
 		for i, v := range ext {
-			if mv[v] >= bestCost {
+			if mv[v] > bestCost {
 				// Any group containing v costs at least mv[v]; exclude it
 				// from this whole subtree.
 				localForbidden[v] = true
@@ -706,8 +871,11 @@ func mergeForbidden(a, b map[socialnet.UserID]bool) map[socialnet.UserID]bool {
 
 // sampleGroups is the random-expansion subset sampling the paper sketches
 // as future work: grow SampleCount random connected groups from u_q and
-// keep the best feasible one. Approximate.
-func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, st *Stats) ([]socialnet.UserID, float64) {
+// keep the best feasible one. Approximate. The rng is seeded from (uq, τ)
+// only and ties are tie-broken canonically, so the trial sequence and the
+// returned group do not depend on which worker runs the anchor. The group
+// is returned sorted.
+func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, pairs *atomic.Int64) ([]socialnet.UserID, float64) {
 	ds := e.DS
 	eligible := make(map[socialnet.UserID]bool, len(users)+1)
 	for _, u := range users {
@@ -753,10 +921,16 @@ func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.U
 			}
 		}
 		if len(cur) == p.Tau {
-			st.PairsEvaluated++
-			if curMax < bestCost {
-				bestCost = curMax
-				bestS = append([]socialnet.UserID(nil), cur...)
+			pairs.Add(1)
+			if !math.IsInf(curMax, 1) {
+				if curMax < bestCost {
+					bestCost = curMax
+					bestS = sortedUsers(cur)
+				} else if curMax == bestCost {
+					if s := sortedUsers(cur); bestS == nil || lexLessUsers(s, bestS) {
+						bestS = s
+					}
+				}
 			}
 		}
 	}

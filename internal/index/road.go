@@ -335,9 +335,16 @@ func (ix *RoadIndex) Meta(n *rtree.Node) *RoadNodeMeta {
 	return m
 }
 
-// Access charges the node's page I/O to the store (call once per node
-// visit during query processing).
+// Access charges the node's page I/O to the store's shared counters (call
+// once per node visit). Not safe for concurrent use; the query engine uses
+// AccessTracked instead.
 func (ix *RoadIndex) Access(n *rtree.Node) { ix.Store.Access(ix.Meta(n).Obj) }
+
+// AccessTracked charges the node's page I/O to a per-query tracker. Safe
+// for concurrent use with distinct trackers once the index is built.
+func (ix *RoadIndex) AccessTracked(n *rtree.Node, t *pagesim.Tracker) {
+	ix.Store.AccessTracked(ix.Meta(n).Obj, t)
+}
 
 // POIDist returns the pivot distance vector of a POI (read-only).
 func (ix *RoadIndex) POIDist(id model.POIID) []float64 { return ix.poiDist[id] }

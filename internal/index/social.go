@@ -304,8 +304,15 @@ func (ix *SocialIndex) placeNodes() {
 	}
 }
 
-// Access charges a node visit to the page store.
+// Access charges a node visit to the page store's shared counters. Not
+// safe for concurrent use; the query engine uses AccessTracked instead.
 func (ix *SocialIndex) Access(n *SNode) { ix.Store.Access(n.Obj) }
+
+// AccessTracked charges a node visit to a per-query tracker. Safe for
+// concurrent use with distinct trackers once the index is built.
+func (ix *SocialIndex) AccessTracked(n *SNode, t *pagesim.Tracker) {
+	ix.Store.AccessTracked(n.Obj, t)
+}
 
 // UserHops returns the social pivot hop vector of a user (read-only).
 func (ix *SocialIndex) UserHops(u socialnet.UserID) []int32 { return ix.userHops[u] }

@@ -4,6 +4,14 @@
 // nodes are packed onto fixed-size pages, and every node access is charged
 // the page reads that miss the buffer pool. This reproduces the I/O metric
 // without a real disk.
+//
+// Concurrency: a Store's placement is written only during index build
+// (Place) and is read-only afterwards, so any number of goroutines may
+// call AccessTracked concurrently once building is done — each goroutine
+// charges its own Tracker, which owns a private buffer pool and counters.
+// The legacy Store-level Access/Reads/ResetStats/DropPool API shares one
+// pool and one counter set and is NOT safe for concurrent use; it remains
+// for single-threaded callers (index build accounting, tools).
 package pagesim
 
 import "fmt"
@@ -131,6 +139,49 @@ func (s *Store) DropPool() { s.pool.reset() }
 
 // PagesOf returns the pages assigned to an object (nil if unplaced).
 func (s *Store) PagesOf(id ObjectID) []PageID { return s.placement[id] }
+
+// Tracker is a per-query I/O accountant: it owns a private buffer pool
+// (same capacity as the store's) plus read/access counters. Each query
+// starts with a fresh Tracker, so every query is measured against a cold
+// cache — the same semantics the engine previously obtained by calling
+// ResetStats+DropPool on the shared store, but without mutating shared
+// state. A Tracker must not be shared across goroutines; one goroutine
+// per query owns its Tracker, while any number of Trackers may access
+// the same Store concurrently.
+type Tracker struct {
+	pool     *lruPool
+	reads    int64
+	accesses int64
+}
+
+// NewTracker returns a fresh cold-cache tracker sized like the store's
+// buffer pool.
+func (s *Store) NewTracker() *Tracker {
+	return &Tracker{pool: newLRUPool(s.pool.cap)}
+}
+
+// AccessTracked simulates reading the object through the tracker's private
+// buffer pool, charging misses to the tracker's counters. The store's
+// placement map is only read, so concurrent calls with distinct trackers
+// are safe once index build is complete.
+func (s *Store) AccessTracked(id ObjectID, t *Tracker) {
+	pages, ok := s.placement[id]
+	if !ok {
+		panic(fmt.Sprintf("pagesim: access to unplaced object %d", id))
+	}
+	t.accesses++
+	for _, p := range pages {
+		if !t.pool.touch(p) {
+			t.reads++
+		}
+	}
+}
+
+// Reads returns the page reads (pool misses) charged to this tracker.
+func (t *Tracker) Reads() int64 { return t.reads }
+
+// Accesses returns the object accesses charged to this tracker.
+func (t *Tracker) Accesses() int64 { return t.accesses }
 
 // lruPool is a fixed-capacity LRU set of pages, hand-rolled with an
 // intrusive doubly-linked list over a slice to avoid per-touch allocations.
