@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-parallel
+.PHONY: check vet build test race bench-parallel bench-smoke
 
 check: vet build test race
 
@@ -23,3 +23,10 @@ race:
 # The parallel-refinement speedup table (recorded in EXPERIMENTS.md).
 bench-parallel:
 	$(GO) run ./cmd/gpssn-bench -exp parallel
+
+# Quick distance-oracle smoke benchmark: CH vs Dijkstra query CPU plus the
+# point-to-point microbenchmark on the paper-scale road network, with the
+# machine-readable report written to BENCH_choracle.json (recorded in
+# EXPERIMENTS.md).
+bench-smoke:
+	$(GO) run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout BENCH_choracle.json

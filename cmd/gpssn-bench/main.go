@@ -30,6 +30,7 @@ func main() {
 		queries = flag.Int("queries", 8, "query issuers per configuration")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		samples = flag.Int("samples", 20, "Baseline estimator samples (paper: 100)")
+		jsonOut = flag.String("jsonout", "", "file for the JSON report of JSON-capable experiments (e.g. choracle)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 
 	cfg := bench.RunConfig{
 		Scale: *scale, Queries: *queries, Seed: *seed, BaselineSamples: *samples,
+		JSONOut: *jsonOut,
 	}
 	run := func(e bench.Experiment) error {
 		start := time.Now()

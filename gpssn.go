@@ -39,6 +39,7 @@ import (
 	"gpssn/internal/core"
 	"gpssn/internal/index"
 	"gpssn/internal/pivot"
+	"gpssn/internal/roadnet/ch"
 	"gpssn/internal/socialnet"
 )
 
@@ -97,6 +98,13 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs refinement sequentially. Any setting
 	// returns identical answers — see docs/CONCURRENCY.md.
 	Parallelism int
+	// DistanceOracle selects the exact road-distance backend. "ch" (the
+	// default) builds a contraction-hierarchy oracle at Open time — a
+	// one-off preprocessing cost that makes every dist_RN evaluation
+	// (refinement, baseline, pivot tables) sublinear in |V| — while
+	// "dijkstra" keeps the plain heap searches. Both are exact; see
+	// docs/ALGORITHMS.md. Surfaced as the ablation-choracle experiment.
+	DistanceOracle string
 }
 
 // DefaultConfig returns the paper's default index configuration.
@@ -106,6 +114,7 @@ func DefaultConfig() Config {
 		RMin: 0.5, RMax: 4,
 		LeafSize: 64, Fanout: 8, MaxEntries: 16,
 		PageSize: 4096, PoolPages: 128,
+		DistanceOracle: "ch",
 	}
 }
 
@@ -137,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolPages == 0 {
 		c.PoolPages = d.PoolPages
+	}
+	if c.DistanceOracle == "" {
+		c.DistanceOracle = d.DistanceOracle
 	}
 	return c
 }
@@ -220,6 +232,16 @@ func Open(net *Network, cfg Config) (*DB, error) {
 	start := time.Now()
 
 	ds := net.ds
+	// Attach the distance oracle before anything touches road distances so
+	// pivot selection and pivot-table construction run through it too.
+	switch c.DistanceOracle {
+	case "ch":
+		ds.Road.SetDistanceOracle(ch.Build(ds.Road))
+	case "dijkstra":
+		ds.Road.SetDistanceOracle(nil)
+	default:
+		return nil, fmt.Errorf("gpssn: unknown DistanceOracle %q (want \"ch\" or \"dijkstra\")", c.DistanceOracle)
+	}
 	roadPivots := pivot.RandomRoad(ds.Road, c.RoadPivots, c.Seed+1)
 	socialPivots := pivot.RandomSocial(ds.Social, c.SocialPivots, c.Seed+2)
 	if c.CostModelPivots {

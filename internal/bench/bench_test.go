@@ -97,7 +97,8 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig9", "fig10", "fig11",
 		"appP-gamma", "appP-theta", "appP-r", "appP-pivots", "appP-vs",
 		"ablation-pivots", "ablation-indexpruning", "ablation-distance",
-		"ablation-rtree", "ablation-sampling", "ext-metrics", "ext-topk",
+		"ablation-rtree", "ablation-sampling", "ablation-choracle",
+		"choracle", "ext-metrics", "ext-topk",
 		"parallel",
 	}
 	for _, name := range want {

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/roadnet/ch"
+	"gpssn/internal/socialnet"
+)
+
+// choracleReport is the JSON payload the choracle experiment writes when
+// RunConfig.JSONOut is set (the `make bench-smoke` BENCH_choracle.json).
+type choracleReport struct {
+	Scale    float64          `json:"scale"`
+	Queries  int              `json:"queries"`
+	Seed     int64            `json:"seed"`
+	Datasets []choracleRow    `json:"datasets"`
+	P2P      choracleP2PStats `json:"p2p"`
+}
+
+// choracleRow compares full GP-SSN query workloads under the two oracles.
+type choracleRow struct {
+	Dataset          string  `json:"dataset"`
+	RoadVertices     int     `json:"road_vertices"`
+	CHShortcuts      int     `json:"ch_shortcuts"`
+	AvgCPUDijkstraMs float64 `json:"avg_query_cpu_dijkstra_ms"`
+	AvgCPUCHMs       float64 `json:"avg_query_cpu_ch_ms"`
+	QuerySpeedup     float64 `json:"query_speedup"`
+	Found            int     `json:"found"`
+	AnswersIdentical bool    `json:"answers_identical"`
+}
+
+// choracleP2PStats is the point-to-point microbenchmark on the largest
+// generated road network (paper-scale |V(G_r)| = 30000, independent of the
+// run's dataset scale).
+type choracleP2PStats struct {
+	RoadVertices     int     `json:"road_vertices"`
+	CHBuildMs        float64 `json:"ch_build_ms"`
+	CHShortcuts      int     `json:"ch_shortcuts"`
+	FullDijkstraUs   float64 `json:"full_dijkstra_us_per_op"`
+	CHPointToPointUs float64 `json:"ch_p2p_us_per_op"`
+	Speedup          float64 `json:"speedup_vs_full_dijkstra"`
+}
+
+// runChoracle compares the CH oracle against plain Dijkstra: full query
+// workloads per dataset (answers must agree), then a point-to-point
+// microbenchmark on a paper-scale road network. With cfg.JSONOut set the
+// numbers are also written as JSON.
+func runChoracle(w io.Writer, cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	report := choracleReport{Scale: cfg.Scale, Queries: cfg.Queries, Seed: cfg.Seed}
+
+	fmt.Fprintf(w, "# Distance oracle: contraction hierarchy (ch) vs plain searches (dijkstra)\n")
+	fmt.Fprintf(w, "%-9s %12s %14s %14s %9s %6s %10s\n",
+		"dataset", "shortcuts", "CPU/q dij", "CPU/q ch", "speedup", "found", "identical")
+	for _, k := range synthKinds {
+		specD := specFor(k, cfg)
+		specD.DistanceOracle = "dijkstra"
+		specC := specFor(k, cfg)
+		specC.DistanceOracle = "ch"
+		envD, err := GetEnv(specD)
+		if err != nil {
+			return err
+		}
+		envC, err := GetEnv(specC)
+		if err != nil {
+			return err
+		}
+		users := envD.QueryUsers(cfg.Queries, cfg.Seed+100)
+		var cpuD, cpuC time.Duration
+		found := 0
+		identical := true
+		for _, u := range users {
+			resD, stD, err := envD.Engine.Query(u, defaultParams())
+			if err != nil {
+				return err
+			}
+			resC, stC, err := envC.Engine.Query(u, defaultParams())
+			if err != nil {
+				return err
+			}
+			cpuD += stD.CPUTime
+			cpuC += stC.CPUTime
+			if resD.Found != resC.Found {
+				return fmt.Errorf("choracle: user %d found diverged (dijkstra=%v ch=%v)", u, resD.Found, resC.Found)
+			}
+			if resD.Found {
+				found++
+				if resD.Anchor != resC.Anchor {
+					// CH sums shortcut weights where Dijkstra sums edges
+					// one at a time, so equal-cost anchors can tie-break
+					// differently by 1 ULP. Anything beyond a cost tie is
+					// a real divergence.
+					if !distNear(resD.MaxDist, resC.MaxDist) {
+						identical = false
+					}
+				} else if !equalIDs(resD.S, resC.S) || !equalPOIs(resD.R, resC.R) ||
+					!distNear(resD.MaxDist, resC.MaxDist) {
+					identical = false
+				}
+			}
+		}
+		if !identical {
+			return fmt.Errorf("choracle: %s answers diverged between oracles", k)
+		}
+		n := time.Duration(maxInt(len(users), 1))
+		oracle, _ := envC.DS.Road.Oracle().(*ch.Oracle)
+		row := choracleRow{
+			Dataset:          k.String(),
+			RoadVertices:     envC.DS.Road.NumVertices(),
+			AvgCPUDijkstraMs: float64(cpuD/n) / float64(time.Millisecond),
+			AvgCPUCHMs:       float64(cpuC/n) / float64(time.Millisecond),
+			Found:            found,
+			AnswersIdentical: identical,
+		}
+		if oracle != nil {
+			row.CHShortcuts = oracle.NumShortcuts()
+		}
+		if cpuC > 0 {
+			row.QuerySpeedup = float64(cpuD) / float64(cpuC)
+		}
+		report.Datasets = append(report.Datasets, row)
+		fmt.Fprintf(w, "%-9s %12d %14s %14s %8.2fx %6d %10v\n",
+			k, row.CHShortcuts, (cpuD / n).Round(time.Microsecond),
+			(cpuC / n).Round(time.Microsecond), row.QuerySpeedup, found, identical)
+	}
+
+	p2p, err := choracleP2P(w, cfg)
+	if err != nil {
+		return err
+	}
+	report.P2P = p2p
+
+	if cfg.JSONOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# wrote %s\n", cfg.JSONOut)
+	}
+	return nil
+}
+
+// choracleP2P measures point-to-point latency on the paper's largest
+// synthetic road network (|V(G_r)| = 30000): a full one-to-all Dijkstra
+// (the cost the refinement hot path paid per user before the oracle)
+// against a CH bidirectional query.
+func choracleP2P(w io.Writer, cfg RunConfig) (choracleP2PStats, error) {
+	env, err := GetEnv(EnvSpec{
+		Kind: UNI, Seed: cfg.Seed,
+		// Minimal social side: only the road network matters here.
+		RoadVertices: 30000, Users: 20, POIs: 20,
+	})
+	if err != nil {
+		return choracleP2PStats{}, err
+	}
+	road := env.DS.Road
+	prev := road.Oracle()
+	defer road.SetDistanceOracle(prev)
+
+	start := time.Now()
+	oracle := ch.Build(road)
+	buildTime := time.Since(start)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	randAttach := func() roadnet.Attach {
+		return road.AttachAt(roadnet.EdgeID(rng.Intn(road.NumEdges())), rng.Float64())
+	}
+	const pairs = 32
+	as := make([]roadnet.Attach, pairs)
+	bs := make([]roadnet.Attach, pairs)
+	for i := range as {
+		as[i], bs[i] = randAttach(), randAttach()
+	}
+
+	// Full one-to-all Dijkstra per op (the pre-oracle hot-path shape).
+	road.SetDistanceOracle(nil)
+	fullDists := make([]float64, pairs)
+	start = time.Now()
+	for i := range as {
+		fullDists[i] = road.DistAttachMany(as[i], bs[i:i+1])[0]
+	}
+	fullPer := time.Since(start) / pairs
+
+	// CH bidirectional point-to-point, many repetitions per pair.
+	road.SetDistanceOracle(oracle)
+	const reps = 20
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		for i := range as {
+			d := road.DistAttach(as[i], bs[i])
+			if r == 0 && !distNear(d, fullDists[i]) {
+				return choracleP2PStats{}, fmt.Errorf("choracle: p2p pair %d diverged (ch=%v dijkstra=%v)", i, d, fullDists[i])
+			}
+		}
+	}
+	chPer := time.Since(start) / (pairs * reps)
+
+	stats := choracleP2PStats{
+		RoadVertices:     road.NumVertices(),
+		CHBuildMs:        float64(buildTime) / float64(time.Millisecond),
+		CHShortcuts:      oracle.NumShortcuts(),
+		FullDijkstraUs:   float64(fullPer) / float64(time.Microsecond),
+		CHPointToPointUs: float64(chPer) / float64(time.Microsecond),
+	}
+	if chPer > 0 {
+		stats.Speedup = float64(fullPer) / float64(chPer)
+	}
+	fmt.Fprintf(w, "# p2p on |V(Gr)|=%d: CH build %s (+%d shortcuts); full Dijkstra %s/op, CH %s/op => %.1fx\n",
+		stats.RoadVertices, buildTime.Round(time.Millisecond), stats.CHShortcuts,
+		fullPer.Round(time.Microsecond), chPer.Round(time.Nanosecond), stats.Speedup)
+	return stats, nil
+}
+
+// runAblationChOracle is the ablation-table view of the same comparison.
+func runAblationChOracle(w io.Writer, cfg RunConfig) error {
+	fmt.Fprintf(w, "# Ablation: CH distance oracle (baseline) vs plain Dijkstra (variant)\n")
+	return compare(w, cfg, "distance-oracle", func(k DatasetKind, variant bool) EnvSpec {
+		spec := specFor(k, cfg.withDefaults())
+		if variant {
+			spec.DistanceOracle = "dijkstra"
+		} else {
+			spec.DistanceOracle = "ch"
+		}
+		return spec
+	})
+}
+
+func equalIDs(a, b []socialnet.UserID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPOIs(a, b []model.POIID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func distNear(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(a, b))
+}

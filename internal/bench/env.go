@@ -20,6 +20,7 @@ import (
 	"gpssn/internal/model"
 	"gpssn/internal/pivot"
 	"gpssn/internal/roadnet"
+	"gpssn/internal/roadnet/ch"
 	"gpssn/internal/socialnet"
 )
 
@@ -76,6 +77,10 @@ type EnvSpec struct {
 	// Parallelism is the refinement worker count (0 = GOMAXPROCS, 1 =
 	// sequential). Any value returns identical answers; only CPU time moves.
 	Parallelism int
+	// DistanceOracle selects the road-distance backend: "ch" (default) or
+	// "dijkstra". Both are exact; the ablation-choracle experiment compares
+	// them.
+	DistanceOracle string
 }
 
 func (s EnvSpec) withDefaults() EnvSpec {
@@ -109,6 +114,9 @@ func (s EnvSpec) withDefaults() EnvSpec {
 	}
 	if s.RMax == 0 {
 		s.RMax = 4
+	}
+	if s.DistanceOracle == "" {
+		s.DistanceOracle = "ch"
 	}
 	return s
 }
@@ -173,6 +181,17 @@ func buildEnv(spec EnvSpec) (*Env, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	// Attach the distance oracle before pivot selection so the pivot cost
+	// model and pivot-table construction run through it, mirroring Open.
+	switch spec.DistanceOracle {
+	case "ch":
+		ds.Road.SetDistanceOracle(ch.Build(ds.Road))
+	case "dijkstra":
+		ds.Road.SetDistanceOracle(nil)
+	default:
+		return nil, fmt.Errorf("bench: unknown DistanceOracle %q", spec.DistanceOracle)
 	}
 
 	roadPivots := pivot.RandomRoad(ds.Road, spec.RoadPivots, spec.Seed+1)

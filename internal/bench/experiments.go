@@ -25,6 +25,10 @@ type RunConfig struct {
 	// BaselineSamples is the sample count of the Fig. 8 Baseline cost
 	// estimator (the paper uses 100; default 20).
 	BaselineSamples int
+	// JSONOut, when non-empty, is a file path where experiments that
+	// support machine-readable output (currently choracle) also write a
+	// JSON report. Stdout carries the human tables either way.
+	JSONOut string
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -75,6 +79,8 @@ func Experiments() []Experiment {
 		{"ablation-distance", "Ablation: pivot distance pruning on vs off", runAblationDistance},
 		{"ablation-rtree", "Ablation: R* split vs quadratic split", runAblationRTree},
 		{"ablation-sampling", "Ablation: exact refinement vs sampling", runAblationSampling},
+		{"ablation-choracle", "Ablation: CH distance oracle vs plain Dijkstra", runAblationChOracle},
+		{"choracle", "Distance oracle: CH vs Dijkstra (query CPU + p2p microbench, JSON-capable)", runChoracle},
 		{"ext-metrics", "Extension: Jaccard/Hamming interest metrics", runExtMetrics},
 		{"ext-topk", "Extension: top-k GP-SSN", runExtTopK},
 		{"parallel", "Extension: parallel refinement speedup vs worker count", runParallel},

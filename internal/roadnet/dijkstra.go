@@ -71,18 +71,25 @@ func (g *Graph) Dijkstra(src VertexID) []float64 {
 }
 
 // DijkstraMulti returns shortest-path distances from the nearest seed to
-// every vertex. Unreachable vertices get +Inf.
+// every vertex. Unreachable vertices get +Inf. When a distance oracle is
+// attached the scan is answered by its one-to-all kernel (a PHAST-style
+// sweep for the CH oracle) instead of a heap-driven search.
 func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
-	dist := make([]float64, len(g.pts))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	h := &distHeap{}
 	for _, s := range seeds {
 		g.checkVertex(s.Vertex)
 		if s.Dist < 0 {
 			panic(fmt.Sprintf("roadnet: negative seed distance %v", s.Dist))
 		}
+	}
+	if g.oracle != nil {
+		return g.oracle.OneToAll(seeds)
+	}
+	dist := make([]float64, len(g.pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := acquireHeap()
+	for _, s := range seeds {
 		if s.Dist < dist[s.Vertex] {
 			dist[s.Vertex] = s.Dist
 			h.push(s.Vertex, s.Dist)
@@ -101,52 +108,63 @@ func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
 			}
 		}
 	}
+	releaseHeap(h)
 	return dist
 }
 
-// dijkstraBounded runs a multi-seed Dijkstra that stops once every target
-// vertex is settled or the frontier exceeds bound. Distances for settled
-// vertices are exact; others are +Inf. targets may be nil (then bound alone
-// stops the search).
-func (g *Graph) dijkstraBounded(seeds []Seed, targets []VertexID, bound float64) []float64 {
-	dist := make([]float64, len(g.pts))
-	for i := range dist {
-		dist[i] = math.Inf(1)
+// boundedSearch runs a multi-seed Dijkstra into sc.dist, stopping once every
+// target vertex is settled or the heap top exceeds bound. Distances for
+// settled vertices are exact; others are +Inf (labels beyond the bound are
+// never even pushed). targets may be nil (then bound alone stops the
+// search); at most 64 targets are tracked for early exit — extra ones still
+// get correct distances, they just stop terminating the scan early.
+// Returns the number of vertices settled, which the early-termination
+// regression test asserts shrinks with the bound.
+func (g *Graph) boundedSearch(sc *searchScratch, seeds []Seed, targets []VertexID, bound float64) int {
+	var targetMask uint64 // bit i set ⇒ targets[i] still unsettled
+	tracked := len(targets)
+	if tracked > 64 {
+		tracked = 64
 	}
-	remaining := make(map[VertexID]bool, len(targets))
-	for _, t := range targets {
-		remaining[t] = true
+	if tracked > 0 {
+		targetMask = (uint64(1) << uint(tracked)) - 1
 	}
-	h := &distHeap{}
+	h := &sc.heap
 	for _, s := range seeds {
-		if s.Dist < dist[s.Vertex] {
-			dist[s.Vertex] = s.Dist
+		if s.Dist <= bound && s.Dist < sc.dist[s.Vertex] {
+			sc.set(s.Vertex, s.Dist)
 			h.push(s.Vertex, s.Dist)
 		}
 	}
+	settled := 0
 	for h.len() > 0 {
 		v, d := h.pop()
-		if d > dist[v] {
-			continue
+		if d > sc.dist[v] {
+			continue // stale entry
 		}
 		if d > bound {
 			break
 		}
-		if remaining[v] {
-			delete(remaining, v)
-			if len(remaining) == 0 && len(targets) > 0 {
+		settled++
+		if targetMask != 0 {
+			for i := 0; i < tracked; i++ {
+				if targets[i] == v {
+					targetMask &^= uint64(1) << uint(i)
+				}
+			}
+			if targetMask == 0 && len(targets) <= 64 {
 				break
 			}
 		}
 		for _, he := range g.adj[v] {
 			nd := d + he.weight
-			if nd < dist[he.to] {
-				dist[he.to] = nd
+			if nd <= bound && nd < sc.dist[he.to] {
+				sc.set(he.to, nd)
 				h.push(he.to, nd)
 			}
 		}
 	}
-	return dist
+	return settled
 }
 
 // DistAttach returns the exact road-network shortest-path distance between
@@ -162,37 +180,33 @@ func (g *Graph) DistAttach(a, b Attach) float64 {
 		e := g.EdgeAt(a.Edge)
 		best = math.Abs(a.T-b.T) * e.Weight
 	}
-	dist := g.dijkstraBounded(
-		[]Seed{{au, dau}, {av, dav}},
-		[]VertexID{bu, bv},
-		best,
-	)
-	if d := dist[bu] + dbu; d < best {
+	seeds := []Seed{{au, dau}, {av, dav}}
+	targets := []VertexID{bu, bv}
+	var du, dv float64
+	if g.oracle != nil {
+		d := g.oracle.SeedDistances(seeds, targets, best)
+		du, dv = d[0], d[1]
+	} else {
+		sc := acquireScratch(len(g.pts))
+		g.boundedSearch(sc, seeds, targets, best)
+		du, dv = sc.dist[bu], sc.dist[bv]
+		sc.release()
+	}
+	if d := du + dbu; d < best {
 		best = d
 	}
-	if d := dist[bv] + dbv; d < best {
+	if d := dv + dbv; d < best {
 		best = d
 	}
 	return best
 }
 
 // DistAttachMany returns dist_RN from a to each attachment in bs using a
-// single Dijkstra from a (far cheaper than len(bs) point-to-point runs).
+// single search from a (far cheaper than len(bs) point-to-point runs).
+// With an oracle attached the search is the many-to-many bucket kernel over
+// just the attachment endpoints instead of a full one-to-all scan.
 func (g *Graph) DistAttachMany(a Attach, bs []Attach) []float64 {
-	au, av, dau, dav := g.attachEnds(a)
-	dist := g.DijkstraMulti([]Seed{{au, dau}, {av, dav}})
-	out := make([]float64, len(bs))
-	for i, b := range bs {
-		d := g.DistToVertexVia(b, dist)
-		if b.Edge == a.Edge {
-			e := g.EdgeAt(a.Edge)
-			if direct := math.Abs(a.T-b.T) * e.Weight; direct < d {
-				d = direct
-			}
-		}
-		out[i] = d
-	}
-	return out
+	return g.distAttachBatch(a, math.Inf(1), bs)
 }
 
 // DistAttachWithin returns dist_RN(a, c) for each candidate c, reported
@@ -202,23 +216,56 @@ func (g *Graph) DistAttachMany(a Attach, bs []Attach) []float64 {
 // uses it to materialize the POI balls ⊙(o_i, r_min), and the query
 // refinement uses it to materialize answer balls ⊙(o_i, r).
 func (g *Graph) DistAttachWithin(a Attach, bound float64, cands []Attach) []float64 {
+	return g.distAttachBatch(a, bound, cands)
+}
+
+// distAttachBatch is the shared implementation of DistAttachMany
+// (bound = +Inf) and DistAttachWithin (finite bound): distances from a to
+// each candidate, with values beyond the bound clamped to +Inf.
+func (g *Graph) distAttachBatch(a Attach, bound float64, cands []Attach) []float64 {
 	au, av, dau, dav := g.attachEnds(a)
-	dist := g.dijkstraBounded([]Seed{{au, dau}, {av, dav}}, nil, bound)
+	seeds := []Seed{{au, dau}, {av, dav}}
 	out := make([]float64, len(cands))
-	for i, c := range cands {
-		d := g.DistToVertexVia(c, dist)
-		if c.Edge == a.Edge {
-			e := g.EdgeAt(a.Edge)
-			if direct := math.Abs(a.T-c.T) * e.Weight; direct < d {
-				d = direct
-			}
+
+	if g.oracle != nil {
+		// Query only the candidates' edge endpoints, deduplicated, through
+		// the oracle's many-to-many kernel.
+		targets := make([]VertexID, 0, 2*len(cands))
+		for _, c := range cands {
+			cu, cv, _, _ := g.attachEnds(c)
+			targets = append(targets, cu, cv)
 		}
-		if d > bound {
-			d = math.Inf(1)
+		vd := g.oracle.SeedDistances(seeds, targets, bound)
+		for i, c := range cands {
+			_, _, dcu, dcv := g.attachEnds(c)
+			d := math.Min(vd[2*i]+dcu, vd[2*i+1]+dcv)
+			out[i] = g.finishAttachDist(a, c, d, bound)
 		}
-		out[i] = d
+		return out
 	}
+
+	sc := acquireScratch(len(g.pts))
+	g.boundedSearch(sc, seeds, nil, bound)
+	for i, c := range cands {
+		out[i] = g.finishAttachDist(a, c, g.DistToVertexVia(c, sc.dist), bound)
+	}
+	sc.release()
 	return out
+}
+
+// finishAttachDist applies the same-edge direct route and the bound clamp
+// shared by every attachment-distance shape.
+func (g *Graph) finishAttachDist(a, c Attach, d, bound float64) float64 {
+	if c.Edge == a.Edge {
+		e := g.EdgeAt(a.Edge)
+		if direct := math.Abs(a.T-c.T) * e.Weight; direct < d {
+			d = direct
+		}
+	}
+	if d > bound {
+		return math.Inf(1)
+	}
+	return d
 }
 
 // ShortestPath returns the distance and the vertex sequence of a shortest

@@ -38,10 +38,11 @@ type Edge struct {
 // Graph is a spatial road network. Create with NewGraph, then add vertices
 // and edges; the graph is usable immediately (no finalize step).
 type Graph struct {
-	pts   []geo.Point
-	adj   [][]halfEdge
-	edges []Edge
-	grid  *edgeGrid // lazily built by SnapPoint
+	pts    []geo.Point
+	adj    [][]halfEdge
+	edges  []Edge
+	grid   *edgeGrid      // lazily built by SnapPoint
+	oracle DistanceOracle // optional fast exact-distance backend (see oracle.go)
 }
 
 // NewGraph returns an empty road network with capacity hints.
@@ -58,6 +59,7 @@ func (g *Graph) AddVertex(p geo.Point) VertexID {
 	g.pts = append(g.pts, p)
 	g.adj = append(g.adj, nil)
 	g.grid = nil
+	g.oracle = nil
 	return VertexID(len(g.pts) - 1)
 }
 
@@ -76,6 +78,7 @@ func (g *Graph) AddEdge(u, v VertexID) EdgeID {
 	g.adj[u] = append(g.adj[u], halfEdge{to: v, weight: w, edge: id})
 	g.adj[v] = append(g.adj[v], halfEdge{to: u, weight: w, edge: id})
 	g.grid = nil
+	g.oracle = nil
 	return id
 }
 

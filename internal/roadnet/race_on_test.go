@@ -1,0 +1,7 @@
+//go:build race
+
+package roadnet
+
+// raceEnabled reports whether the race detector instruments this build;
+// its allocations make AllocsPerRun counts meaningless.
+const raceEnabled = true
