@@ -24,9 +24,10 @@ race:
 bench-parallel:
 	$(GO) run ./cmd/gpssn-bench -exp parallel
 
-# Quick distance-oracle smoke benchmark: CH vs Dijkstra query CPU plus the
-# point-to-point microbenchmark on the paper-scale road network, with the
-# machine-readable report written to BENCH_choracle.json (recorded in
-# EXPERIMENTS.md).
+# Quick distance-oracle smoke benchmarks: CH vs Dijkstra, then hub labels
+# vs both, each with query CPU plus the point-to-point microbenchmark on
+# the paper-scale road network and a machine-readable report
+# (BENCH_choracle.json / BENCH_hublabel.json, recorded in EXPERIMENTS.md).
 bench-smoke:
 	$(GO) run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout BENCH_choracle.json
+	$(GO) run ./cmd/gpssn-bench -exp hublabel -scale 0.05 -queries 4 -jsonout BENCH_hublabel.json

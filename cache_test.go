@@ -79,6 +79,107 @@ func TestAnswerCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestAnswerCacheEvictionOrder pins the LRU discipline at capacity: the
+// least-recently-used key is the one evicted, and both get hits and put
+// updates refresh recency.
+func TestAnswerCacheEvictionOrder(t *testing.T) {
+	key := func(u int) cacheKey { return cacheKey{user: u, q: Query{GroupSize: 2}, k: 1} }
+	c := newAnswerCache(2)
+	c.put(key(0), nil, Stats{}, false)
+	c.put(key(1), nil, Stats{}, false)
+	c.put(key(2), nil, Stats{}, false) // evicts key(0), the least recent
+	if _, _, _, ok := c.get(key(0)); ok {
+		t.Fatal("least-recent key survived eviction")
+	}
+	for _, u := range []int{1, 2} {
+		if _, _, _, ok := c.get(key(u)); !ok {
+			t.Fatalf("key(%d) evicted out of order", u)
+		}
+	}
+
+	// A get refreshes recency: after touching key(1), inserting key(3)
+	// must evict key(2) instead.
+	if _, _, _, ok := c.get(key(1)); !ok {
+		t.Fatal("key(1) missing")
+	}
+	c.put(key(3), nil, Stats{}, false)
+	if _, _, _, ok := c.get(key(2)); ok {
+		t.Fatal("get did not refresh recency: key(2) should have been evicted")
+	}
+	if _, _, _, ok := c.get(key(1)); !ok {
+		t.Fatal("refreshed key(1) was evicted")
+	}
+
+	// A put updating an existing key refreshes recency too.
+	c.put(key(1), nil, Stats{}, true)
+	c.put(key(4), nil, Stats{}, false) // must evict key(3), not key(1)
+	if _, _, _, ok := c.get(key(3)); ok {
+		t.Fatal("put-update did not refresh recency: key(3) should have been evicted")
+	}
+	if _, _, found, ok := c.get(key(1)); !ok || !found {
+		t.Fatal("updated key(1) lost its refreshed entry")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+}
+
+// TestAnswerCacheInvalidationPerUpdateKind verifies that every dynamic
+// update kind — AddPOI, AddUser, AddFriendship, and Compact — wholesale
+// invalidates the answer cache (any update can change any answer).
+func TestAnswerCacheInvalidationPerUpdateKind(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{
+		RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2, CacheSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.1, Theta: 0.1, Radius: 1.5}
+	warm := func() {
+		t.Helper()
+		if _, _, err := db.Query(0, q); err != nil && !errors.Is(err, ErrNoAnswer) {
+			t.Fatal(err)
+		}
+		if db.cache.len() == 0 {
+			t.Fatal("cache not warmed")
+		}
+	}
+
+	warm()
+	userID, err := db.AddUser(0.4, 0.6, []float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 0 {
+		t.Fatalf("AddUser left %d cached entries", db.cache.len())
+	}
+
+	warm()
+	if err := db.AddFriendship(0, userID); err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 0 {
+		t.Fatalf("AddFriendship left %d cached entries", db.cache.len())
+	}
+
+	warm()
+	if _, err := db.AddPOI(1.0, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 0 {
+		t.Fatalf("AddPOI left %d cached entries", db.cache.len())
+	}
+
+	warm()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 0 {
+		t.Fatalf("Compact left %d cached entries", db.cache.len())
+	}
+}
+
 func TestAnswerCacheDisabledByDefault(t *testing.T) {
 	net := figure1Network(t)
 	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})

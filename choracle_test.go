@@ -139,13 +139,24 @@ func TestOracleConfigValidation(t *testing.T) {
 	if _, err := Open(net, cfg); err == nil {
 		t.Fatal("Open accepted an unknown DistanceOracle")
 	}
-	cfg.DistanceOracle = "" // empty defaults to ch
+	cfg.DistanceOracle = "" // empty defaults to hl
 	db, err := Open(net, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if db.net.ds.Road.Oracle() == nil {
-		t.Fatal("default config did not attach the CH oracle")
+		t.Fatal("default config did not attach an oracle")
+	}
+	if !db.net.ds.Road.HasLabels() {
+		t.Fatal("default config did not attach the hub-label oracle")
+	}
+	cfg.DistanceOracle = "ch"
+	db, err = Open(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.net.ds.Road.Oracle() == nil || db.net.ds.Road.HasLabels() {
+		t.Fatal("ch config must attach the label-free CH oracle")
 	}
 	cfg.DistanceOracle = "dijkstra"
 	db, err = Open(net, cfg)

@@ -40,6 +40,7 @@ import (
 	"gpssn/internal/index"
 	"gpssn/internal/pivot"
 	"gpssn/internal/roadnet/ch"
+	"gpssn/internal/roadnet/hl"
 	"gpssn/internal/socialnet"
 )
 
@@ -98,12 +99,16 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs refinement sequentially. Any setting
 	// returns identical answers — see docs/CONCURRENCY.md.
 	Parallelism int
-	// DistanceOracle selects the exact road-distance backend. "ch" (the
-	// default) builds a contraction-hierarchy oracle at Open time — a
-	// one-off preprocessing cost that makes every dist_RN evaluation
-	// (refinement, baseline, pivot tables) sublinear in |V| — while
-	// "dijkstra" keeps the plain heap searches. Both are exact; see
-	// docs/ALGORITHMS.md. Surfaced as the ablation-choracle experiment.
+	// DistanceOracle selects the exact road-distance backend. "hl" (the
+	// default) builds a contraction hierarchy at Open time and extracts
+	// hub labels from it, turning point-to-point dist_RN evaluations into
+	// sub-µs sorted-array merges and switching refinement to the batched
+	// label kernel; "ch" stops at the contraction hierarchy (about 4x
+	// cheaper preprocessing, slower queries — BENCH_hublabel.json measures
+	// both, which is how this default was chosen); "dijkstra" keeps the
+	// plain heap searches. All three are exact and return identical
+	// answers; see docs/ALGORITHMS.md. Surfaced as the ablation-choracle
+	// and hublabel experiments.
 	DistanceOracle string
 }
 
@@ -114,7 +119,7 @@ func DefaultConfig() Config {
 		RMin: 0.5, RMax: 4,
 		LeafSize: 64, Fanout: 8, MaxEntries: 16,
 		PageSize: 4096, PoolPages: 128,
-		DistanceOracle: "ch",
+		DistanceOracle: "hl",
 	}
 }
 
@@ -237,10 +242,12 @@ func Open(net *Network, cfg Config) (*DB, error) {
 	switch c.DistanceOracle {
 	case "ch":
 		ds.Road.SetDistanceOracle(ch.Build(ds.Road))
+	case "hl":
+		ds.Road.SetDistanceOracle(hl.Build(ds.Road))
 	case "dijkstra":
 		ds.Road.SetDistanceOracle(nil)
 	default:
-		return nil, fmt.Errorf("gpssn: unknown DistanceOracle %q (want \"ch\" or \"dijkstra\")", c.DistanceOracle)
+		return nil, fmt.Errorf("gpssn: unknown DistanceOracle %q (want \"ch\", \"hl\" or \"dijkstra\")", c.DistanceOracle)
 	}
 	roadPivots := pivot.RandomRoad(ds.Road, c.RoadPivots, c.Seed+1)
 	socialPivots := pivot.RandomSocial(ds.Social, c.SocialPivots, c.Seed+2)

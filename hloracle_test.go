@@ -1,0 +1,122 @@
+package gpssn
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestHLOracleEqualityQueries is the hub-label equality gate, mirroring
+// TestOracleEqualityQueries: Query and QueryTopK must return identical
+// answers with DistanceOracle=hl and =dijkstra, at refinement parallelism
+// 1 and 8, on every small dataset. This exercises the whole batched label
+// path — attachment labels, per-ball target labels, the one-pass merge
+// kernel, and the bounded distance cache — against the plain-search
+// Baseline. The group, POI set, and anchor must agree exactly;
+// MaxDistance up to floating-point association order (see sameAnswer).
+func TestHLOracleEqualityQueries(t *testing.T) {
+	queries := []Query{
+		{GroupSize: 3, Gamma: 0.3, Theta: 0.4, Radius: 2},
+		{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1},
+		{GroupSize: 4, Gamma: 0.2, Theta: 0.3, Radius: 3},
+	}
+	for _, zipf := range []bool{false, true} {
+		for seed := int64(1); seed <= 2; seed++ {
+			ref := openWithOracle(t, seed, zipf, "dijkstra", 1)
+			for _, par := range []int{1, 8} {
+				db := openWithOracle(t, seed, zipf, "hl", par)
+				for _, q := range queries {
+					for user := 0; user < 70; user += 7 {
+						wantAns, _, wantErr := ref.Query(user, q)
+						gotAns, _, gotErr := db.Query(user, q)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("zipf=%v seed=%d par=%d user=%d q=%+v: err mismatch (dijkstra=%v hl=%v)",
+								zipf, seed, par, user, q, wantErr, gotErr)
+						}
+						if wantErr != nil {
+							if !errors.Is(gotErr, ErrNoAnswer) {
+								t.Fatalf("unexpected error: %v", gotErr)
+							}
+							continue
+						}
+						if !sameAnswer(wantAns, gotAns) {
+							t.Fatalf("zipf=%v seed=%d par=%d user=%d q=%+v:\n dijkstra %s maxdist=%x\n hl       %s maxdist=%x",
+								zipf, seed, par, user, q, answerKey(wantAns), wantAns.MaxDistance, answerKey(gotAns), gotAns.MaxDistance)
+						}
+					}
+					for user := 0; user < 70; user += 23 {
+						wantTop, _, err := ref.QueryTopK(user, q, 3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotTop, _, err := db.QueryTopK(user, q, 3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(wantTop) != len(gotTop) {
+							t.Fatalf("zipf=%v seed=%d par=%d user=%d: top-k sizes differ (%d vs %d)",
+								zipf, seed, par, user, len(wantTop), len(gotTop))
+						}
+						for i := range wantTop {
+							if !sameAnswer(&wantTop[i], &gotTop[i]) {
+								t.Fatalf("zipf=%v seed=%d par=%d user=%d top-k[%d]:\n dijkstra %s maxdist=%x\n hl       %s maxdist=%x",
+									zipf, seed, par, user, i, answerKey(&wantTop[i]), wantTop[i].MaxDistance, answerKey(&gotTop[i]), gotTop[i].MaxDistance)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHLOracleConfig pins that DistanceOracle=hl attaches a label-exposing
+// oracle (so the batched refinement kernel actually engages) and that
+// dynamic updates keep working: a road-relevant mutation plus Compact must
+// rebuild the labels, with answers still served afterwards.
+func TestHLOracleConfig(t *testing.T) {
+	net, err := GenerateSynthetic(SyntheticOptions{
+		Seed: 3, RoadVertices: 60, Users: 25, POIs: 20, Topics: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DistanceOracle = "hl"
+	db, err := Open(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.net.ds.Road.Oracle() == nil {
+		t.Fatal("hl config did not attach an oracle")
+	}
+	if !db.net.ds.Road.HasLabels() {
+		t.Fatal("hl config attached an oracle without hub labels")
+	}
+
+	q := Query{GroupSize: 2, Gamma: 0.2, Theta: 0.2, Radius: 3}
+	var answered int
+	for u := 0; u < 25; u++ {
+		if _, _, err := db.Query(u, q); err == nil {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no query answered under the hl oracle")
+	}
+
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.net.ds.Road.HasLabels() {
+		t.Fatal("Compact dropped the hub-label oracle")
+	}
+	answered = 0
+	for u := 0; u < 25; u++ {
+		if _, _, err := db.Query(u, q); err == nil {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no query answered after Compact under the hl oracle")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"gpssn/internal/pivot"
 	"gpssn/internal/roadnet"
 	"gpssn/internal/roadnet/ch"
+	"gpssn/internal/roadnet/hl"
 	"gpssn/internal/socialnet"
 )
 
@@ -77,9 +78,9 @@ type EnvSpec struct {
 	// Parallelism is the refinement worker count (0 = GOMAXPROCS, 1 =
 	// sequential). Any value returns identical answers; only CPU time moves.
 	Parallelism int
-	// DistanceOracle selects the road-distance backend: "ch" (default) or
-	// "dijkstra". Both are exact; the ablation-choracle experiment compares
-	// them.
+	// DistanceOracle selects the road-distance backend: "ch" (default),
+	// "hl" or "dijkstra". All are exact; the ablation-choracle and hublabel
+	// experiments compare them.
 	DistanceOracle string
 }
 
@@ -188,6 +189,8 @@ func buildEnv(spec EnvSpec) (*Env, error) {
 	switch spec.DistanceOracle {
 	case "ch":
 		ds.Road.SetDistanceOracle(ch.Build(ds.Road))
+	case "hl":
+		ds.Road.SetDistanceOracle(hl.Build(ds.Road))
 	case "dijkstra":
 		ds.Road.SetDistanceOracle(nil)
 	default:

@@ -81,6 +81,7 @@ func Experiments() []Experiment {
 		{"ablation-sampling", "Ablation: exact refinement vs sampling", runAblationSampling},
 		{"ablation-choracle", "Ablation: CH distance oracle vs plain Dijkstra", runAblationChOracle},
 		{"choracle", "Distance oracle: CH vs Dijkstra (query CPU + p2p microbench, JSON-capable)", runChoracle},
+		{"hublabel", "Distance oracle: hub labels vs CH vs Dijkstra (query CPU + p2p microbench, JSON-capable)", runHublabel},
 		{"ext-metrics", "Extension: Jaccard/Hamming interest metrics", runExtMetrics},
 		{"ext-topk", "Extension: top-k GP-SSN", runExtTopK},
 		{"parallel", "Extension: parallel refinement speedup vs worker count", runParallel},

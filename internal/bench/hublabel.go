@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"gpssn/internal/roadnet"
+	"gpssn/internal/roadnet/ch"
+	"gpssn/internal/roadnet/hl"
+)
+
+// hublabelReport is the JSON payload the hublabel experiment writes when
+// RunConfig.JSONOut is set (the `make bench-smoke` BENCH_hublabel.json).
+type hublabelReport struct {
+	Scale    float64          `json:"scale"`
+	Queries  int              `json:"queries"`
+	Seed     int64            `json:"seed"`
+	Datasets []hublabelRow    `json:"datasets"`
+	P2P      hublabelP2PStats `json:"p2p"`
+}
+
+// hublabelRow compares full GP-SSN query workloads under the three exact
+// oracles. AnswersIdentical covers hl vs dijkstra (the plain-search ground
+// truth) with the same ULP-tie tolerance the choracle experiment uses.
+type hublabelRow struct {
+	Dataset          string  `json:"dataset"`
+	RoadVertices     int     `json:"road_vertices"`
+	AvgLabelSize     float64 `json:"avg_label_size"`
+	AvgCPUDijkstraMs float64 `json:"avg_query_cpu_dijkstra_ms"`
+	AvgCPUCHMs       float64 `json:"avg_query_cpu_ch_ms"`
+	AvgCPUHLMs       float64 `json:"avg_query_cpu_hl_ms"`
+	SpeedupVsCH      float64 `json:"query_speedup_vs_ch"`
+	Found            int     `json:"found"`
+	AnswersIdentical bool    `json:"answers_identical"`
+}
+
+// hublabelP2PStats is the point-to-point microbenchmark on the paper-scale
+// road network (|V(G_r)| = 30000): plain Dijkstra vs the CH bidirectional
+// search vs a hub-label merge, plus label construction statistics.
+type hublabelP2PStats struct {
+	RoadVertices      int     `json:"road_vertices"`
+	CHBuildMs         float64 `json:"ch_build_ms"`
+	HLBuildMs         float64 `json:"hl_build_ms"`
+	LabelEntries      int     `json:"label_entries_total"`
+	AvgLabelSize      float64 `json:"avg_label_size"`
+	MaxLabelSize      int     `json:"max_label_size"`
+	FullDijkstraUs    float64 `json:"full_dijkstra_us_per_op"`
+	CHPointToPointUs  float64 `json:"ch_p2p_us_per_op"`
+	HLPointToPointUs  float64 `json:"hl_p2p_us_per_op"`
+	SpeedupVsDijkstra float64 `json:"hl_speedup_vs_full_dijkstra"`
+	SpeedupVsCH       float64 `json:"hl_speedup_vs_ch"`
+}
+
+// runHublabel compares the hub-label oracle against the CH and plain
+// Dijkstra: full query workloads per dataset (answers must agree), then a
+// point-to-point microbenchmark with label statistics on a paper-scale
+// road network. With cfg.JSONOut set the numbers are also written as JSON.
+func runHublabel(w io.Writer, cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	report := hublabelReport{Scale: cfg.Scale, Queries: cfg.Queries, Seed: cfg.Seed}
+
+	fmt.Fprintf(w, "# Distance oracle: hub labels (hl) vs contraction hierarchy (ch) vs plain searches (dijkstra)\n")
+	fmt.Fprintf(w, "%-9s %9s %13s %13s %13s %9s %6s %10s\n",
+		"dataset", "avg|L|", "CPU/q dij", "CPU/q ch", "CPU/q hl", "vs ch", "found", "identical")
+	for _, k := range synthKinds {
+		specD := specFor(k, cfg)
+		specD.DistanceOracle = "dijkstra"
+		specC := specFor(k, cfg)
+		specC.DistanceOracle = "ch"
+		specH := specFor(k, cfg)
+		specH.DistanceOracle = "hl"
+		envD, err := GetEnv(specD)
+		if err != nil {
+			return err
+		}
+		envC, err := GetEnv(specC)
+		if err != nil {
+			return err
+		}
+		envH, err := GetEnv(specH)
+		if err != nil {
+			return err
+		}
+		users := envD.QueryUsers(cfg.Queries, cfg.Seed+100)
+		var cpuD, cpuC, cpuH time.Duration
+		found := 0
+		identical := true
+		for _, u := range users {
+			resD, stD, err := envD.Engine.Query(u, defaultParams())
+			if err != nil {
+				return err
+			}
+			resC, stC, err := envC.Engine.Query(u, defaultParams())
+			if err != nil {
+				return err
+			}
+			resH, stH, err := envH.Engine.Query(u, defaultParams())
+			if err != nil {
+				return err
+			}
+			cpuD += stD.CPUTime
+			cpuC += stC.CPUTime
+			cpuH += stH.CPUTime
+			if resD.Found != resH.Found || resC.Found != resH.Found {
+				return fmt.Errorf("hublabel: user %d found diverged (dijkstra=%v ch=%v hl=%v)",
+					u, resD.Found, resC.Found, resH.Found)
+			}
+			if resD.Found {
+				found++
+				if resD.Anchor != resH.Anchor {
+					// Label merges associate float sums differently than
+					// edge-at-a-time Dijkstra, so equal-cost anchors can
+					// tie-break apart by 1 ULP; anything beyond a cost tie
+					// is a real divergence.
+					if !distNear(resD.MaxDist, resH.MaxDist) {
+						identical = false
+					}
+				} else if !equalIDs(resD.S, resH.S) || !equalPOIs(resD.R, resH.R) ||
+					!distNear(resD.MaxDist, resH.MaxDist) {
+					identical = false
+				}
+			}
+		}
+		if !identical {
+			return fmt.Errorf("hublabel: %s answers diverged between oracles", k)
+		}
+		n := time.Duration(maxInt(len(users), 1))
+		row := hublabelRow{
+			Dataset:          k.String(),
+			RoadVertices:     envH.DS.Road.NumVertices(),
+			AvgCPUDijkstraMs: float64(cpuD/n) / float64(time.Millisecond),
+			AvgCPUCHMs:       float64(cpuC/n) / float64(time.Millisecond),
+			AvgCPUHLMs:       float64(cpuH/n) / float64(time.Millisecond),
+			Found:            found,
+			AnswersIdentical: identical,
+		}
+		if oracle, ok := envH.DS.Road.Oracle().(*hl.Oracle); ok {
+			row.AvgLabelSize = oracle.AvgLabelSize()
+		}
+		if cpuH > 0 {
+			row.SpeedupVsCH = float64(cpuC) / float64(cpuH)
+		}
+		report.Datasets = append(report.Datasets, row)
+		fmt.Fprintf(w, "%-9s %9.1f %13s %13s %13s %8.2fx %6d %10v\n",
+			k, row.AvgLabelSize, (cpuD / n).Round(time.Microsecond), (cpuC / n).Round(time.Microsecond),
+			(cpuH / n).Round(time.Microsecond), row.SpeedupVsCH, found, identical)
+	}
+
+	p2p, err := hublabelP2P(w, cfg)
+	if err != nil {
+		return err
+	}
+	report.P2P = p2p
+
+	if cfg.JSONOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# wrote %s\n", cfg.JSONOut)
+	}
+	return nil
+}
+
+// hublabelP2P measures point-to-point latency on the paper's largest
+// synthetic road network (|V(G_r)| = 30000) under all three oracles, using
+// the same pair workload shape as choracleP2P so the numbers line up
+// across reports.
+func hublabelP2P(w io.Writer, cfg RunConfig) (hublabelP2PStats, error) {
+	env, err := GetEnv(EnvSpec{
+		Kind: UNI, Seed: cfg.Seed,
+		// Minimal social side: only the road network matters here.
+		RoadVertices: 30000, Users: 20, POIs: 20,
+	})
+	if err != nil {
+		return hublabelP2PStats{}, err
+	}
+	road := env.DS.Road
+	prev := road.Oracle()
+	defer road.SetDistanceOracle(prev)
+
+	start := time.Now()
+	cho := ch.Build(road)
+	chBuild := time.Since(start)
+	start = time.Now()
+	hlo := hl.FromCH(cho)
+	hlBuild := time.Since(start)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	randAttach := func() roadnet.Attach {
+		return road.AttachAt(roadnet.EdgeID(rng.Intn(road.NumEdges())), rng.Float64())
+	}
+	const pairs = 32
+	as := make([]roadnet.Attach, pairs)
+	bs := make([]roadnet.Attach, pairs)
+	for i := range as {
+		as[i], bs[i] = randAttach(), randAttach()
+	}
+
+	// Full one-to-all Dijkstra per op (the pre-oracle hot-path shape).
+	road.SetDistanceOracle(nil)
+	fullDists := make([]float64, pairs)
+	start = time.Now()
+	for i := range as {
+		fullDists[i] = road.DistAttachMany(as[i], bs[i:i+1])[0]
+	}
+	fullPer := time.Since(start) / pairs
+
+	// CH bidirectional point-to-point.
+	road.SetDistanceOracle(cho)
+	const reps = 20
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		for i := range as {
+			d := road.DistAttach(as[i], bs[i])
+			if r == 0 && !distNear(d, fullDists[i]) {
+				return hublabelP2PStats{}, fmt.Errorf("hublabel: ch p2p pair %d diverged (ch=%v dijkstra=%v)", i, d, fullDists[i])
+			}
+		}
+	}
+	chPer := time.Since(start) / (pairs * reps)
+
+	// Hub-label merge point-to-point: many more repetitions, the per-op
+	// cost is small enough for timer noise to matter otherwise.
+	road.SetDistanceOracle(hlo)
+	const hlReps = 200
+	start = time.Now()
+	for r := 0; r < hlReps; r++ {
+		for i := range as {
+			d := road.DistAttach(as[i], bs[i])
+			if r == 0 && !distNear(d, fullDists[i]) {
+				return hublabelP2PStats{}, fmt.Errorf("hublabel: hl p2p pair %d diverged (hl=%v dijkstra=%v)", i, d, fullDists[i])
+			}
+		}
+	}
+	hlPer := time.Since(start) / (pairs * hlReps)
+
+	stats := hublabelP2PStats{
+		RoadVertices:     road.NumVertices(),
+		CHBuildMs:        float64(chBuild) / float64(time.Millisecond),
+		HLBuildMs:        float64(hlBuild) / float64(time.Millisecond),
+		LabelEntries:     hlo.NumLabelEntries(),
+		AvgLabelSize:     hlo.AvgLabelSize(),
+		MaxLabelSize:     hlo.MaxLabelSize(),
+		FullDijkstraUs:   float64(fullPer) / float64(time.Microsecond),
+		CHPointToPointUs: float64(chPer) / float64(time.Microsecond),
+		HLPointToPointUs: float64(hlPer) / float64(time.Microsecond),
+	}
+	if hlPer > 0 {
+		stats.SpeedupVsDijkstra = float64(fullPer) / float64(hlPer)
+		stats.SpeedupVsCH = float64(chPer) / float64(hlPer)
+	}
+	fmt.Fprintf(w, "# p2p on |V(Gr)|=%d: HL build %s on top of CH %s; labels avg %.1f max %d;\n",
+		stats.RoadVertices, time.Duration(hlBuild).Round(time.Millisecond),
+		time.Duration(chBuild).Round(time.Millisecond), stats.AvgLabelSize, stats.MaxLabelSize)
+	fmt.Fprintf(w, "#   full Dijkstra %s/op, CH %s/op, HL %s/op => HL %.1fx vs Dijkstra, %.1fx vs CH\n",
+		fullPer.Round(time.Microsecond), chPer.Round(time.Nanosecond), hlPer.Round(time.Nanosecond),
+		stats.SpeedupVsDijkstra, stats.SpeedupVsCH)
+	return stats, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gpssn/internal/roadnet/hl"
+	"gpssn/internal/socialnet"
+)
+
+// TestEngineMatchesBaselineUnderHL reruns the engine-vs-Baseline oracle
+// gate with the hub-label oracle attached, across every ablation variant:
+// the batched label kernel must leave answers exact whichever pruning
+// stages are toggled.
+func TestEngineMatchesBaselineUnderHL(t *testing.T) {
+	params := []Params{
+		{Gamma: 0.2, Tau: 2, Theta: 0.3, R: 2, Metric: MetricDotProduct},
+		{Gamma: 0.25, Tau: 3, Theta: 0.4, R: 2, Metric: MetricDotProduct},
+		{Gamma: 0.0, Tau: 2, Theta: 0.0, R: 0.5, Metric: MetricDotProduct},
+	}
+	variants := map[string]Options{
+		"default":             {},
+		"no-index-pruning":    {DisableIndexPruning: true},
+		"no-distance-pruning": {DisableDistancePruning: true},
+		"corollary2":          {UseCorollary2: true},
+		"both-off":            {DisableIndexPruning: true, DisableDistancePruning: true},
+		"parallel-8":          {Parallelism: 8},
+	}
+	ds := smallDataset(t, 9)
+	ds.Road.SetDistanceOracle(hl.Build(ds.Road))
+	defer ds.Road.SetDistanceOracle(nil)
+	oracle := &Baseline{DS: ds}
+	for pi, p := range params {
+		for _, uq := range []socialnet.UserID{2, 19, 44} {
+			want, _ := oracle.Query(uq, p)
+			for name, opts := range variants {
+				e := buildEngine(t, ds, opts)
+				got, _, err := e.Query(uq, p)
+				if err != nil {
+					t.Fatalf("%s params %d uq %d: %v", name, pi, uq, err)
+				}
+				if got.Found != want.Found {
+					t.Fatalf("%s params %d uq %d: found=%v, baseline %v", name, pi, uq, got.Found, want.Found)
+				}
+				if got.Found && math.Abs(got.MaxDist-want.MaxDist) > 1e-6 {
+					t.Fatalf("%s params %d uq %d: cost %v, baseline %v (S=%v R=%v vs S=%v R=%v)",
+						name, pi, uq, got.MaxDist, want.MaxDist, got.S, got.R, want.S, want.R)
+				}
+				if got.Found {
+					checkFeasible(t, ds, uq, p, got)
+				}
+			}
+		}
+	}
+}

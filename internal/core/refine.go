@@ -16,10 +16,10 @@ import (
 )
 
 // probeResult carries the incumbent found by the pre-traversal probe and
-// the per-user Dijkstra cache it warmed up (reused by refinement).
+// the per-user distance cache it warmed up (reused by refinement).
 type probeResult struct {
 	res   Result
-	cache map[socialnet.UserID][]float64
+	cache *vertexDistCache
 }
 
 // probe searches for one feasible solution around the issuer's nearest
@@ -29,34 +29,13 @@ type probeResult struct {
 func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
 	pr := probeResult{
 		res:   Result{MaxDist: math.Inf(1)},
-		cache: map[socialnet.UserID][]float64{},
+		cache: newVertexDistCache(),
 	}
 	ds := e.DS
 	uqW := ds.Users[uq].Interests
 	const probeAnchors = 3
 	nn := e.Road.Tree.Nearest(ds.Users[uq].Loc, probeAnchors)
 	tried := map[model.POIID]bool{}
-	mOf := func(u socialnet.UserID, ball []model.POIID) float64 {
-		dv, ok := pr.cache[u]
-		if !ok {
-			dv = e.userVertexDist(u)
-			pr.cache[u] = dv
-		}
-		m := 0.0
-		for _, o := range ball {
-			d := e.attachDistVia(ds.POIs[o].At, dv)
-			if ds.Users[u].At.Edge == ds.POIs[o].At.Edge {
-				edge := ds.Road.EdgeAt(ds.POIs[o].At.Edge)
-				if direct := math.Abs(ds.Users[u].At.T-ds.POIs[o].At.T) * edge.Weight; direct < d {
-					d = direct
-				}
-			}
-			if d > m {
-				m = d
-			}
-		}
-		return m
-	}
 	tryAnchor := func(anchor model.POIID) {
 		if tried[anchor] {
 			return
@@ -72,7 +51,8 @@ func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
 		if MatchScoreSet(uqW, kws) < p.Theta {
 			return
 		}
-		mUq := mOf(uq, ball)
+		mOf := e.makeMOf(pr.cache, ball, nil)
+		mUq := mOf(uq)
 		if mUq >= pr.res.MaxDist {
 			return
 		}
@@ -104,7 +84,7 @@ func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
 					}
 					checked++
 					evals++
-					m := mOf(v, ball)
+					m := mOf(v)
 					if m < bestM {
 						bestM, bestU = m, v
 					}
@@ -267,25 +247,202 @@ func (sk *sharedKeeper) add(r Result) {
 	}
 }
 
-// vertexDistCache shares per-user full-Dijkstra distance arrays across
-// refinement workers. Two workers may race to compute the same user's
-// array; both compute identical values, so last-write-wins is benign.
+// Capacity bounds for the per-query distance cache. Before these bounds a
+// single wide query could pin O(touched-users · V) float64 in memory; with
+// a hub-label oracle attached the cache holds label-sized entries (tens of
+// pairs per user) instead of O(V) arrays, and either way the caps below
+// hold. Rejected puts are benign: callers recompute, and recomputation
+// yields bit-identical values, so answers never depend on cache occupancy.
+const (
+	distCacheMaxEntries = 512
+	distCacheMaxBytes   = 32 << 20
+)
+
+// vertexDistCache shares per-user distance state across the probe and the
+// refinement workers: full one-to-all arrays under plain oracles, hub
+// labels (roadnet.HubLabel) under a label oracle. Entries are
+// first-write-wins — two workers may race to compute the same user's
+// entry; both compute identical values, so keeping the first is benign —
+// and puts beyond the entry or byte cap are rejected rather than evicted
+// (the cache is per-query and short-lived; eviction bookkeeping would cost
+// more than the recomputation it saves).
 type vertexDistCache struct {
-	mu sync.Mutex
-	m  map[socialnet.UserID][]float64
+	mu         sync.Mutex
+	arrays     map[socialnet.UserID][]float64
+	labels     map[socialnet.UserID]*roadnet.HubLabel
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+	rejected   int64
 }
 
-func (c *vertexDistCache) get(u socialnet.UserID) ([]float64, bool) {
+func newVertexDistCache() *vertexDistCache {
+	return newVertexDistCacheWith(distCacheMaxEntries, distCacheMaxBytes)
+}
+
+func newVertexDistCacheWith(maxEntries int, maxBytes int64) *vertexDistCache {
+	return &vertexDistCache{
+		arrays:     map[socialnet.UserID][]float64{},
+		labels:     map[socialnet.UserID]*roadnet.HubLabel{},
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+func (c *vertexDistCache) getArray(u socialnet.UserID) ([]float64, bool) {
 	c.mu.Lock()
-	dv, ok := c.m[u]
+	dv, ok := c.arrays[u]
 	c.mu.Unlock()
 	return dv, ok
 }
 
-func (c *vertexDistCache) put(u socialnet.UserID, dv []float64) {
+// putArray stores u's one-to-all array unless u is already present or the
+// caps would be exceeded. Reports whether the entry was stored.
+func (c *vertexDistCache) putArray(u socialnet.UserID, dv []float64) bool {
+	nb := int64(8 * len(dv))
 	c.mu.Lock()
-	c.m[u] = dv
+	defer c.mu.Unlock()
+	if _, ok := c.arrays[u]; ok {
+		return false
+	}
+	if len(c.arrays)+len(c.labels) >= c.maxEntries || c.bytes+nb > c.maxBytes {
+		c.rejected++
+		return false
+	}
+	c.arrays[u] = dv
+	c.bytes += nb
+	return true
+}
+
+func (c *vertexDistCache) getLabel(u socialnet.UserID) (*roadnet.HubLabel, bool) {
+	c.mu.Lock()
+	l, ok := c.labels[u]
 	c.mu.Unlock()
+	return l, ok
+}
+
+// putLabel stores u's attachment label unless u is already present or the
+// caps would be exceeded. On true the cache owns l (it must not be
+// released to the pool); on false the caller keeps ownership.
+func (c *vertexDistCache) putLabel(u socialnet.UserID, l *roadnet.HubLabel) bool {
+	nb := int64(12 * l.Len())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.labels[u]; ok {
+		return false
+	}
+	if len(c.arrays)+len(c.labels) >= c.maxEntries || c.bytes+nb > c.maxBytes {
+		c.rejected++
+		return false
+	}
+	c.labels[u] = l
+	c.bytes += nb
+	return true
+}
+
+// entries and sizeBytes report occupancy (for tests and tracing).
+func (c *vertexDistCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.arrays) + len(c.labels)
+}
+
+func (c *vertexDistCache) sizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// userLabel returns u's attachment hub label through the cache, computing
+// it with one pooled SeedLabel merge on a miss. The second result reports
+// whether the caller must release the label back to the pool (true exactly
+// when the cache did not take ownership). Only call under a label oracle.
+func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.HubLabel, bool) {
+	if l, ok := c.getLabel(u); ok {
+		return l, false
+	}
+	l := roadnet.AcquireLabel()
+	e.DS.Road.AttachLabel(e.DS.Users[u].At, l)
+	if c.putLabel(u, l) {
+		return l, false
+	}
+	return l, true
+}
+
+// makeMOf builds the M(u) evaluator for one anchor ball:
+// M(u) = max over ball POIs o of dist_RN(u, o).
+//
+// Under a hub-label oracle it returns the batched label kernel: the ball's
+// target labels are flattened and sorted once (PrepareTargetLabels), and
+// each evaluation is a single simultaneous merge of the user's pooled
+// attachment label against them (roadnet.LabelDists) — no per-pair graph
+// search, no O(V) state. Otherwise it falls back to the array strategy:
+// exact cached one-to-all arrays while no incumbent exists, bound-truncated
+// searches afterwards.
+//
+// With a keeper, evaluations are clamped at the current shared bound: a
+// ball POI beyond the bound proves M(u) > bound, so the user cannot be in
+// an answer that survives the keeper and +Inf is a sound stand-in
+// (distances exactly at the bound stay exact, so ties survive the strict
+// pruning). keeper == nil (the probe) means unbounded exact evaluation.
+// The returned closure reuses one output buffer and must not be called
+// concurrently; build one evaluator per worker/anchor.
+func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sharedKeeper) func(socialnet.UserID) float64 {
+	ds := e.DS
+	ballAtts := make([]roadnet.Attach, len(ball))
+	for i, o := range ball {
+		ballAtts[i] = ds.POIs[o].At
+	}
+	bound := func() float64 {
+		if keeper == nil {
+			return math.Inf(1)
+		}
+		return keeper.Bound()
+	}
+	if tl := ds.Road.PrepareTargetLabels(ballAtts); tl != nil {
+		out := make([]float64, len(ballAtts))
+		return func(u socialnet.UserID) float64 {
+			lbl, pooled := e.userLabel(cache, u)
+			ds.Road.LabelDists(lbl, ds.Users[u].At, tl, bound(), out)
+			if pooled {
+				roadnet.ReleaseLabel(lbl)
+			}
+			m := 0.0
+			for _, d := range out {
+				if math.IsInf(d, 1) {
+					return math.Inf(1)
+				}
+				if d > m {
+					m = d
+				}
+			}
+			return m
+		}
+	}
+	return func(u socialnet.UserID) float64 {
+		if b := bound(); !math.IsInf(b, 1) {
+			if dv, ok := cache.getArray(u); ok {
+				return mFromVertexDist(e, u, ball, dv)
+			}
+			dists := ds.Road.DistAttachWithin(ds.Users[u].At, b, ballAtts)
+			m := 0.0
+			for _, d := range dists {
+				if math.IsInf(d, 1) {
+					return math.Inf(1)
+				}
+				if d > m {
+					m = d
+				}
+			}
+			return m
+		}
+		dv, ok := cache.getArray(u)
+		if !ok {
+			dv = e.userVertexDist(u)
+			cache.putArray(u, dv)
+		}
+		return mFromVertexDist(e, u, ball, dv)
+	}
 }
 
 // refine is Algorithm 2 lines 29-31: exact filtering of the candidate sets
@@ -330,21 +487,22 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	st.CandUsers = len(cand)
 	st.CandAnchors = len(tr.candAnchors)
 
-	// Exact distances from u_q to every vertex (one Dijkstra, reused from
-	// the probe when it ran); anchors are then processed in ascending
-	// exact distance so the search can stop as soon as the next anchor's
-	// lower bound meets the incumbent.
-	uqDist, ok := probe.cache[uq]
-	if !ok {
-		uqDist = e.userVertexDist(uq)
+	// Exact distances from u_q to every candidate anchor (one batched label
+	// merge under a label oracle, one cached one-to-all otherwise); anchors
+	// are then processed in ascending exact distance so the search can stop
+	// as soon as the next anchor's lower bound meets the incumbent.
+	distCache := probe.cache
+	if distCache == nil {
+		distCache = newVertexDistCache()
 	}
+	duqs := e.anchorDists(distCache, uq, tr.candAnchors)
 	type anchorCand struct {
 		id  model.POIID
 		duq float64
 	}
 	anchors := make([]anchorCand, 0, len(tr.candAnchors))
-	for _, a := range tr.candAnchors {
-		anchors = append(anchors, anchorCand{id: a, duq: e.attachDistVia(ds.POIs[a].At, uqDist)})
+	for i, a := range tr.candAnchors {
+		anchors = append(anchors, anchorCand{id: a, duq: duqs[i]})
 	}
 	sort.Slice(anchors, func(i, j int) bool {
 		if anchors[i].duq != anchors[j].duq {
@@ -357,16 +515,10 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	if probe.res.Found {
 		keeper.add(probe.res) // feasible: a sound incumbent
 	}
-	distCache := &vertexDistCache{m: probe.cache}
-	distCache.put(uq, uqDist)
 	var pairs atomic.Int64
 
 	processAnchor := func(ac anchorCand) {
 		ball := e.ballAround(ac.id, p.R)
-		ballAtts := make([]roadnet.Attach, len(ball))
-		for i, o := range ball {
-			ballAtts[i] = ds.POIs[o].At
-		}
 		kws := NewTopicSet(ds.NumTopics)
 		for _, o := range ball {
 			for _, k := range ds.POIs[o].Keywords {
@@ -377,35 +529,9 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 			return
 		}
 		// M(u) = max_{o in ball} dist_RN(u, o); the group cost is
-		// max_{u in S} M(u). With a finite incumbent the computation runs a
-		// Dijkstra truncated at the current bound: a ball vertex left
-		// unsettled proves M(u) > bound, so the user cannot be in an answer
-		// that survives the keeper and +Inf is a sound stand-in (vertices
-		// exactly at the bound are settled, so ties stay exact).
-		mOf := func(u socialnet.UserID) float64 {
-			if b := keeper.Bound(); !math.IsInf(b, 1) {
-				if dv, ok := distCache.get(u); ok {
-					return mFromVertexDist(e, u, ball, dv)
-				}
-				dists := ds.Road.DistAttachWithin(ds.Users[u].At, b, ballAtts)
-				m := 0.0
-				for _, d := range dists {
-					if math.IsInf(d, 1) {
-						return math.Inf(1)
-					}
-					if d > m {
-						m = d
-					}
-				}
-				return m
-			}
-			dv, ok := distCache.get(u)
-			if !ok {
-				dv = e.userVertexDist(u)
-				distCache.put(u, dv)
-			}
-			return mFromVertexDist(e, u, ball, dv)
-		}
+		// max_{u in S} M(u). See makeMOf for the label-kernel and
+		// bound-truncation strategies and their soundness.
+		mOf := e.makeMOf(distCache, ball, keeper)
 		mUq := mOf(uq)
 		// Strict comparison: a cost exactly equal to the bound may still
 		// tie the k-th best and win the canonical tie-break, so it must
@@ -705,6 +831,47 @@ func (e *Engine) ballAround(anchor model.POIID, radius float64) []model.POIID {
 		ball = append(ball, anchor)
 	}
 	return ball
+}
+
+// anchorDists computes exact dist_RN(u_q, anchor) for every candidate
+// anchor. Under a label oracle this is one batched merge of u_q's pooled
+// attachment label against the anchors' prepared target labels — no O(V)
+// array is ever materialized; otherwise it reads a cached one-to-all array.
+// Both paths apply the same-edge direct route, so the value is the true
+// network distance and hence a sound lower bound on any group cost the
+// anchor can produce (the anchor is in its own ball).
+func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchors []model.POIID) []float64 {
+	ds := e.DS
+	atts := make([]roadnet.Attach, len(anchors))
+	for i, a := range anchors {
+		atts[i] = ds.POIs[a].At
+	}
+	out := make([]float64, len(anchors))
+	if tl := ds.Road.PrepareTargetLabels(atts); tl != nil {
+		lbl, pooled := e.userLabel(cache, uq)
+		ds.Road.LabelDists(lbl, ds.Users[uq].At, tl, math.Inf(1), out)
+		if pooled {
+			roadnet.ReleaseLabel(lbl)
+		}
+		return out
+	}
+	uqDist, ok := cache.getArray(uq)
+	if !ok {
+		uqDist = e.userVertexDist(uq)
+		cache.putArray(uq, uqDist)
+	}
+	uqAt := ds.Users[uq].At
+	for i, at := range atts {
+		d := e.attachDistVia(at, uqDist)
+		if uqAt.Edge == at.Edge {
+			edge := ds.Road.EdgeAt(at.Edge)
+			if direct := math.Abs(uqAt.T-at.T) * edge.Weight; direct < d {
+				d = direct
+			}
+		}
+		out[i] = d
+	}
+	return out
 }
 
 // userVertexDist returns exact road distances from the user's home to every

@@ -51,6 +51,23 @@ func (o *Oracle) NumShortcuts() int { return o.shortcuts }
 // NumVertices reports the size of the graph snapshot the oracle covers.
 func (o *Oracle) NumVertices() int { return o.n }
 
+// Rank returns v's contraction rank (higher = contracted later = more
+// important). Hub-label construction consumes it.
+func (o *Oracle) Rank(v int32) int32 { return o.rank[v] }
+
+// VerticesByRankDesc returns the vertices in descending rank order. The
+// slice is owned by the oracle — callers must treat it as read-only. It is
+// the processing order for hub-label extraction (internal/roadnet/hl),
+// which needs every higher-ranked label finished before a vertex is
+// labelled.
+func (o *Oracle) VerticesByRankDesc() []int32 { return o.byRankDesc }
+
+// UpArcs returns the up-edge adjacency of v (arcs to higher-ranked
+// endpoints, shortcuts included) as parallel read-only slices.
+func (o *Oracle) UpArcs(v int32) (to []int32, w []float64) {
+	return o.up.to[o.up.off[v]:o.up.off[v+1]], o.up.w[o.up.off[v]:o.up.off[v+1]]
+}
+
 // csr is a compressed sparse row adjacency: arcs of vertex v occupy
 // [off[v], off[v+1]) in to/w.
 type csr struct {

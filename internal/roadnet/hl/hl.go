@@ -1,0 +1,301 @@
+// Package hl implements an exact hub-labeling distance oracle extracted
+// from a contraction hierarchy (Abraham et al., "A Hub-Based Labeling
+// Algorithm for Shortest Paths in Road Networks" — the CHHL construction).
+//
+// Every vertex gets a label: a short sorted list of (hub, distance) pairs.
+// The defining property (a 2-hop cover) is that for any pair (s, t) the
+// labels of s and t share the apex of a shortest s-t path, with exact
+// distances on both sides. A distance query is therefore a linear merge of
+// two sorted arrays — min over common hubs h of d_s(h) + d_t(h) — with no
+// priority queue, no scratch graph, and no per-query search state at all.
+//
+// Construction processes vertices in descending contraction rank. The
+// label of v is seeded with (v, 0) and the min-merge of every up-neighbour
+// w's finished label shifted by the arc weight w(v, w); the CH up-down path
+// property guarantees this candidate set contains the apex of every
+// shortest path leaving v with its exact distance. Candidates are then
+// pruned with the bootstrap rule: entry (h, d) is dropped when a hub-label
+// query between the candidate label and the finished label of h certifies
+// a distance strictly below d. Pruned entries are provably non-optimal
+// (the certified distance lower-bounds nothing — it IS a path length — so
+// q < d implies d > dist(v, h)), and exact apex entries can never be
+// pruned (q >= dist(v, h) = d), which keeps the cover property intact.
+// docs/ALGORITHMS.md spells out the full argument.
+//
+// The oracle keeps the CH it was built from: one-to-all scans still run
+// the CH's PHAST sweep (a label-based one-to-all would cost Σ|label| per
+// query and lose to PHAST's linear pass), while point-to-point and
+// many-to-many shapes use the labels.
+package hl
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"gpssn/internal/roadnet"
+	"gpssn/internal/roadnet/ch"
+)
+
+// Oracle is an immutable hub labeling over a road-network snapshot. Build
+// once, then query concurrently; queries allocate nothing beyond the
+// pooled merge buffers.
+type Oracle struct {
+	cho *ch.Oracle
+	n   int
+
+	// Per-vertex labels in CSR form: vertex v's (hub, dist) entries occupy
+	// [off[v], off[v+1]) in hub/dist, sorted by ascending hub id.
+	off  []int32
+	hub  []int32
+	dist []float64
+
+	maxLabel int
+	pool     sync.Pool // *scratch
+}
+
+// Build contracts g and extracts hub labels from the hierarchy.
+func Build(g *roadnet.Graph) *Oracle { return FromCH(ch.Build(g)) }
+
+// FromCH extracts hub labels from an already-built contraction hierarchy.
+func FromCH(c *ch.Oracle) *Oracle {
+	n := c.NumVertices()
+	o := &Oracle{cho: c, n: n}
+	labels := make([][]labEntry, n)
+	var cand []labEntry
+	for _, v := range c.VerticesByRankDesc() {
+		cand = append(cand[:0], labEntry{hub: v, d: 0})
+		to, w := c.UpArcs(v)
+		for k := range to {
+			for _, e := range labels[to[k]] {
+				cand = append(cand, labEntry{hub: e.hub, d: e.d + w[k]})
+			}
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].hub != cand[j].hub {
+				return cand[i].hub < cand[j].hub
+			}
+			return cand[i].d < cand[j].d
+		})
+		// Collapse duplicate hubs to their minimum distance (in place; the
+		// sort put the minimum first in each run).
+		dedup := cand[:0]
+		for _, e := range cand {
+			if len(dedup) > 0 && dedup[len(dedup)-1].hub == e.hub {
+				continue
+			}
+			dedup = append(dedup, e)
+		}
+		// Bootstrap pruning: drop entries a finished higher label already
+		// certifies a strictly shorter path for.
+		kept := make([]labEntry, 0, len(dedup))
+		for _, e := range dedup {
+			if e.hub != v && prunable(dedup, labels[e.hub], e.d) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		labels[v] = kept
+		cand = dedup
+	}
+
+	o.off = make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(labels[v])
+		if len(labels[v]) > o.maxLabel {
+			o.maxLabel = len(labels[v])
+		}
+	}
+	o.hub = make([]int32, total)
+	o.dist = make([]float64, total)
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		o.off[v] = pos
+		for _, e := range labels[v] {
+			o.hub[pos] = e.hub
+			o.dist[pos] = e.d
+			pos++
+		}
+	}
+	o.off[n] = pos
+	return o
+}
+
+type labEntry struct {
+	hub int32
+	d   float64
+}
+
+// prunable reports whether the (sorted) candidate label and the finished
+// label of a hub certify a distance strictly below d. It early-exits on
+// the first witness, which is what keeps construction near-linear in the
+// label sizes in practice.
+func prunable(cand []labEntry, hubLabel []labEntry, d float64) bool {
+	i, j := 0, 0
+	for i < len(cand) && j < len(hubLabel) {
+		switch {
+		case cand[i].hub < hubLabel[j].hub:
+			i++
+		case cand[i].hub > hubLabel[j].hub:
+			j++
+		default:
+			if cand[i].d+hubLabel[j].d < d {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}
+
+// CH returns the contraction hierarchy the labels were extracted from.
+func (o *Oracle) CH() *ch.Oracle { return o.cho }
+
+// NumVertices reports the size of the covered graph snapshot.
+func (o *Oracle) NumVertices() int { return o.n }
+
+// NumLabelEntries reports the total (hub, dist) pair count across labels.
+func (o *Oracle) NumLabelEntries() int { return len(o.hub) }
+
+// AvgLabelSize reports the mean label length.
+func (o *Oracle) AvgLabelSize() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return float64(len(o.hub)) / float64(o.n)
+}
+
+// MaxLabelSize reports the longest label.
+func (o *Oracle) MaxLabelSize() int { return o.maxLabel }
+
+// label returns vertex v's entries as read-only subslices.
+func (o *Oracle) label(v int32) (hubs []int32, dist []float64) {
+	return o.hub[o.off[v]:o.off[v+1]], o.dist[o.off[v]:o.off[v+1]]
+}
+
+// scratch holds the pooled per-query merge buffers.
+type scratch struct {
+	src roadnet.HubLabel
+	tmp roadnet.HubLabel
+}
+
+func (o *Oracle) getScratch() *scratch {
+	sc, _ := o.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	return sc
+}
+
+func (o *Oracle) putScratch(sc *scratch) {
+	sc.src.Reset()
+	sc.tmp.Reset()
+	o.pool.Put(sc)
+}
+
+// SeedLabel implements roadnet.LabelOracle: the merged label of the seed
+// set, built by repeated two-pointer min-merges of the seeds' vertex
+// labels shifted by their initial distances.
+func (o *Oracle) SeedLabel(seeds []roadnet.Seed, dst *roadnet.HubLabel) {
+	dst.Reset()
+	sc := o.getScratch()
+	o.seedLabelInto(seeds, dst, &sc.tmp)
+	o.putScratch(sc)
+}
+
+// seedLabelInto merges the seeds' labels into dst using tmp as the swap
+// buffer. dst must be empty.
+func (o *Oracle) seedLabelInto(seeds []roadnet.Seed, dst, tmp *roadnet.HubLabel) {
+	for _, s := range seeds {
+		hubs, dist := o.label(int32(s.Vertex))
+		if len(dst.Hubs) == 0 {
+			for i, h := range hubs {
+				dst.Hubs = append(dst.Hubs, h)
+				dst.Dist = append(dst.Dist, dist[i]+s.Dist)
+			}
+			continue
+		}
+		tmp.Reset()
+		i, j := 0, 0
+		for i < len(dst.Hubs) || j < len(hubs) {
+			switch {
+			case j == len(hubs) || (i < len(dst.Hubs) && dst.Hubs[i] < hubs[j]):
+				tmp.Hubs = append(tmp.Hubs, dst.Hubs[i])
+				tmp.Dist = append(tmp.Dist, dst.Dist[i])
+				i++
+			case i == len(dst.Hubs) || hubs[j] < dst.Hubs[i]:
+				tmp.Hubs = append(tmp.Hubs, hubs[j])
+				tmp.Dist = append(tmp.Dist, dist[j]+s.Dist)
+				j++
+			default:
+				d := dist[j] + s.Dist
+				if dst.Dist[i] < d {
+					d = dst.Dist[i]
+				}
+				tmp.Hubs = append(tmp.Hubs, dst.Hubs[i])
+				tmp.Dist = append(tmp.Dist, d)
+				i++
+				j++
+			}
+		}
+		*dst, *tmp = *tmp, *dst
+	}
+}
+
+// mergeDist is the hub-label distance query: min over common hubs of the
+// two labels' distance sums, +Inf when the labels share no hub (the pair
+// is disconnected).
+func mergeDist(aH []int32, aD []float64, bH []int32, bD []float64) float64 {
+	best := math.Inf(1)
+	i, j := 0, 0
+	for i < len(aH) && j < len(bH) {
+		switch {
+		case aH[i] < bH[j]:
+			i++
+		case aH[i] > bH[j]:
+			j++
+		default:
+			if d := aD[i] + bD[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		}
+	}
+	return best
+}
+
+// SeedDistances implements roadnet.DistanceOracle: one merged source label,
+// then one two-pointer merge per target. Distances beyond bound are
+// reported as +Inf; distances exactly at the bound stay exact.
+func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64) []float64 {
+	inf := math.Inf(1)
+	res := make([]float64, len(targets))
+	for i := range res {
+		res[i] = inf
+	}
+	if o.n == 0 || len(targets) == 0 || len(sources) == 0 {
+		return res
+	}
+	sc := o.getScratch()
+	o.seedLabelInto(sources, &sc.src, &sc.tmp)
+	for i, t := range targets {
+		tH, tD := o.label(int32(t))
+		if d := mergeDist(sc.src.Hubs, sc.src.Dist, tH, tD); d <= bound {
+			res[i] = d
+		}
+	}
+	o.putScratch(sc)
+	return res
+}
+
+// OneToAll implements roadnet.DistanceOracle by delegating to the CH's
+// PHAST sweep: a label-based one-to-all would pay Σ|label(v)| merge work
+// per query, strictly worse than PHAST's single linear pass.
+func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
+	return o.cho.OneToAll(sources)
+}
+
+var _ roadnet.LabelOracle = (*Oracle)(nil)

@@ -1,0 +1,182 @@
+package roadnet
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// HubLabel is a compact exact-distance sketch of one location: a list of
+// (hub vertex, distance) pairs sorted by ascending hub id. Two locations'
+// distance is the minimum of d_a(h) + d_b(h) over their common hubs — a
+// linear merge of two short sorted arrays, no priority queue, no per-query
+// graph traversal. Labels are produced by a LabelOracle (the hub-labeling
+// backend in internal/roadnet/hl) and consumed by the batched refinement
+// kernel below.
+type HubLabel struct {
+	Hubs []int32
+	Dist []float64
+}
+
+// Len returns the number of (hub, distance) entries.
+func (l *HubLabel) Len() int { return len(l.Hubs) }
+
+// Reset empties the label, keeping capacity.
+func (l *HubLabel) Reset() {
+	l.Hubs = l.Hubs[:0]
+	l.Dist = l.Dist[:0]
+}
+
+// append records one entry; construction keeps hubs sorted.
+func (l *HubLabel) append(hub int32, d float64) {
+	l.Hubs = append(l.Hubs, hub)
+	l.Dist = append(l.Dist, d)
+}
+
+// labelPool recycles HubLabel buffers across queries: refinement computes
+// one label per touched user per query and the entries are label-sized
+// (tens of pairs), so pooling removes the only allocation on that path.
+var labelPool = sync.Pool{New: func() any { return new(HubLabel) }}
+
+// AcquireLabel returns an empty pooled label buffer. Release with
+// ReleaseLabel when done.
+func AcquireLabel() *HubLabel { return labelPool.Get().(*HubLabel) }
+
+// ReleaseLabel resets l and returns it to the pool. l must not be used
+// afterwards.
+func ReleaseLabel(l *HubLabel) {
+	l.Reset()
+	labelPool.Put(l)
+}
+
+// LabelOracle is an optional extension of DistanceOracle implemented by
+// hub-labeling backends. It exposes the labels themselves so callers with
+// a repeated source-vs-fixed-target-set shape (the refinement hot path)
+// can precompute the target side once and answer every source with a
+// single sorted merge instead of a graph search per pair.
+type LabelOracle interface {
+	DistanceOracle
+
+	// SeedLabel writes the merged hub label of the seed set into dst
+	// (dst is reset first): entry (h, d) means the nearest seed reaches
+	// hub h at exact distance d. Hubs ascend. For any target t,
+	// min over common hubs of d + label_t(h) is the exact seed-to-t
+	// distance. Must be safe for concurrent use.
+	SeedLabel(seeds []Seed, dst *HubLabel)
+}
+
+// HasLabels reports whether the attached distance oracle exposes hub
+// labels (i.e. the batched label kernel below is available).
+func (g *Graph) HasLabels() bool {
+	_, ok := g.oracle.(LabelOracle)
+	return ok
+}
+
+// AttachLabel writes the hub label of attachment a into dst: the merged
+// label of a's two edge endpoints offset by the along-edge distances. It
+// reports false (leaving dst untouched) when the attached oracle does not
+// expose labels.
+func (g *Graph) AttachLabel(a Attach, dst *HubLabel) bool {
+	lo, ok := g.oracle.(LabelOracle)
+	if !ok {
+		return false
+	}
+	u, v, du, dv := g.attachEnds(a)
+	lo.SeedLabel([]Seed{{Vertex: u, Dist: du}, {Vertex: v, Dist: dv}}, dst)
+	return true
+}
+
+// TargetLabels is the batched, merge-ready form of a fixed set of target
+// attachments: every target's hub label flattened into one array sorted by
+// (hub, target), so a single simultaneous walk with a source label computes
+// the distance to all targets at once — the k-way sorted merge of the
+// refinement kernel. Build once per target set (PrepareTargetLabels), reuse
+// for every source. Read-only after construction, so safe to share across
+// refinement workers.
+type TargetLabels struct {
+	atts []Attach  // the targets, for the same-edge direct route
+	hubs []int32   // ascending, runs of equal hubs span targets
+	slot []int32   // hubs[i] belongs to target atts[slot[i]]
+	dist []float64 // distance from target slot[i] to hub hubs[i]
+}
+
+// NumTargets returns the number of target attachments.
+func (t *TargetLabels) NumTargets() int { return len(t.atts) }
+
+// NumEntries returns the flattened entry count (Σ per-target label sizes).
+func (t *TargetLabels) NumEntries() int { return len(t.hubs) }
+
+// PrepareTargetLabels precomputes the merged label structure for a batch of
+// target attachments, or nil when the attached oracle does not expose
+// labels. The attachment slice is copied.
+func (g *Graph) PrepareTargetLabels(atts []Attach) *TargetLabels {
+	lo, ok := g.oracle.(LabelOracle)
+	if !ok {
+		return nil
+	}
+	t := &TargetLabels{atts: append([]Attach(nil), atts...)}
+	lbl := AcquireLabel()
+	for i, a := range atts {
+		u, v, du, dv := g.attachEnds(a)
+		lo.SeedLabel([]Seed{{Vertex: u, Dist: du}, {Vertex: v, Dist: dv}}, lbl)
+		for j, h := range lbl.Hubs {
+			t.hubs = append(t.hubs, h)
+			t.slot = append(t.slot, int32(i))
+			t.dist = append(t.dist, lbl.Dist[j])
+		}
+	}
+	ReleaseLabel(lbl)
+	sort.Sort((*targetLabelSort)(t))
+	return t
+}
+
+// targetLabelSort orders the flattened entries by (hub, target slot).
+type targetLabelSort TargetLabels
+
+func (s *targetLabelSort) Len() int { return len(s.hubs) }
+func (s *targetLabelSort) Less(i, j int) bool {
+	if s.hubs[i] != s.hubs[j] {
+		return s.hubs[i] < s.hubs[j]
+	}
+	return s.slot[i] < s.slot[j]
+}
+func (s *targetLabelSort) Swap(i, j int) {
+	s.hubs[i], s.hubs[j] = s.hubs[j], s.hubs[i]
+	s.slot[i], s.slot[j] = s.slot[j], s.slot[i]
+	s.dist[i], s.dist[j] = s.dist[j], s.dist[i]
+}
+
+// LabelDists computes dist_RN from the source attachment (whose hub label
+// is src, from AttachLabel) to every prepared target in one pass: the two
+// hub-sorted arrays are walked simultaneously and each matching hub relaxes
+// its target's running minimum. Same-edge direct routes are applied and
+// distances beyond bound are reported as +Inf, matching DistAttachWithin.
+// out must have length tl.NumTargets(); it is returned filled. Allocation-
+// free, safe for concurrent use (all shared state is read-only).
+func (g *Graph) LabelDists(src *HubLabel, srcAt Attach, tl *TargetLabels, bound float64, out []float64) []float64 {
+	inf := math.Inf(1)
+	for i := range out {
+		out[i] = inf
+	}
+	i, j := 0, 0
+	for i < len(src.Hubs) && j < len(tl.hubs) {
+		switch {
+		case src.Hubs[i] < tl.hubs[j]:
+			i++
+		case src.Hubs[i] > tl.hubs[j]:
+			j++
+		default:
+			h, ds := src.Hubs[i], src.Dist[i]
+			for ; j < len(tl.hubs) && tl.hubs[j] == h; j++ {
+				if d := ds + tl.dist[j]; d < out[tl.slot[j]] {
+					out[tl.slot[j]] = d
+				}
+			}
+			i++
+		}
+	}
+	for k, c := range tl.atts {
+		out[k] = g.finishAttachDist(srcAt, c, out[k], bound)
+	}
+	return out
+}
