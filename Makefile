@@ -1,24 +1,33 @@
 # Verification gate for gpssn. `make check` is the single entry CI runs:
-# vet, build, the tier-1 tests, then a race-detector pass (short mode so
-# the heavy bench package stays fast). See docs/CONCURRENCY.md §5.
+# vet, lint, build, the tier-1 tests, then a race-detector pass (short mode
+# so the heavy bench package stays fast). See docs/CONCURRENCY.md §5.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-parallel bench-smoke
+.PHONY: check vet lint build test race bench-parallel bench-smoke
 
-check: vet build test race
+check: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when available; skip quietly on machines without it (CI
+# installs it in the lint job).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 10m ./...
 
 # The parallel-refinement speedup table (recorded in EXPERIMENTS.md).
 bench-parallel:

@@ -63,18 +63,28 @@ func (c *answerCache) get(key cacheKey) (answers []Answer, stats Stats, found, o
 	return answers, e.stats, e.found, true
 }
 
+// put stores a snapshot of answers: the slice is deep-cloned here, on both
+// the insert and the overwrite path, so the cache never aliases
+// caller-visible slices no matter what the caller does with them later.
 func (c *answerCache) put(key cacheKey, answers []Answer, stats Stats, found bool) {
 	if c == nil {
 		return
 	}
+	var cloned []Answer
+	if answers != nil {
+		cloned = make([]Answer, 0, len(answers))
+		for _, a := range answers {
+			cloned = append(cloned, cloneAnswer(a))
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
-		e.answers, e.stats, e.found = answers, stats, found
+		e.answers, e.stats, e.found = cloned, stats, found
 		c.order.MoveToFront(e.elem)
 		return
 	}
-	e := &cacheEntry{answers: answers, stats: stats, found: found}
+	e := &cacheEntry{answers: cloned, stats: stats, found: found}
 	e.elem = c.order.PushFront(key)
 	c.items[key] = e
 	if c.order.Len() > c.cap {

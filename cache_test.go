@@ -180,6 +180,124 @@ func TestAnswerCacheInvalidationPerUpdateKind(t *testing.T) {
 	}
 }
 
+// TestQueryTopKCache verifies that QueryTopK goes through the answer cache
+// like Query: hits are keyed by (user, query, k), the empty "nothing
+// feasible" outcome is cached too, returned slices never alias the cache,
+// and dynamic updates invalidate TopK entries.
+func TestQueryTopKCache(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{
+		RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2, CacheSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5}
+	a1, st1, err := db.QueryTopK(0, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) == 0 {
+		t.Fatal("expected answers")
+	}
+	if st1.CacheHit {
+		t.Fatal("first TopK call reported a cache hit")
+	}
+	if db.cache.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", db.cache.len())
+	}
+	a2, st2, err := db.QueryTopK(0, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit {
+		t.Error("second TopK call missed the cache")
+	}
+	if len(a2) != len(a1) || a2[0].MaxDistance != a1[0].MaxDistance {
+		t.Error("cached TopK answers differ")
+	}
+	// Different k is a different entry.
+	if _, st, err := db.QueryTopK(0, q, 2); err != nil || st.CacheHit {
+		t.Fatalf("k=2 after k=3 must miss (err=%v, hit=%v)", err, st != nil && st.CacheHit)
+	}
+	if db.cache.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", db.cache.len())
+	}
+	// Mutating a returned slice must not corrupt the cache.
+	a2[0].Users[0] = 99
+	a3, _, err := db.QueryTopK(0, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3[0].Users[0] == 99 {
+		t.Error("cache returned aliased TopK answer")
+	}
+
+	// The empty outcome is cached: second call hits and stays empty.
+	hard := Query{GroupSize: 5, Gamma: 5, Theta: 0.5, Radius: 1}
+	e1, st, err := db.QueryTopK(0, hard, 3)
+	if err != nil || len(e1) != 0 {
+		t.Fatalf("hard query: answers=%v err=%v, want empty, nil", e1, err)
+	}
+	if st.CacheHit {
+		t.Fatal("first hard TopK reported a hit")
+	}
+	e2, st, err := db.QueryTopK(0, hard, 3)
+	if err != nil || len(e2) != 0 {
+		t.Fatalf("cached hard query: answers=%v err=%v, want empty, nil", e2, err)
+	}
+	if !st.CacheHit {
+		t.Error("empty TopK outcome was not cached")
+	}
+
+	// A dynamic update invalidates TopK entries with everything else.
+	if _, err := db.AddPOI(1.0, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.len() != 0 {
+		t.Errorf("cache should be empty after update, len = %d", db.cache.len())
+	}
+	if _, st, err := db.QueryTopK(0, q, 3); err != nil || st.CacheHit {
+		t.Fatalf("post-update TopK must recompute (err=%v, hit=%v)", err, st != nil && st.CacheHit)
+	}
+}
+
+// TestAnswerCachePutClones is the aliasing regression test for the put
+// path: the cache must deep-clone on insert AND on overwrite, so a caller
+// mutating the slice it passed in — or an answer it got back — can never
+// corrupt a cached entry.
+func TestAnswerCachePutClones(t *testing.T) {
+	key := cacheKey{user: 1, q: Query{GroupSize: 2}, k: 1}
+	c := newAnswerCache(4)
+
+	// Insert path: mutate the caller's backing array after put.
+	mine := []Answer{{Users: []int{1, 2}, POIs: []int{7}, Anchor: 7, MaxDistance: 1.5}}
+	c.put(key, mine, Stats{}, true)
+	mine[0].Users[0] = 99
+	mine[0].POIs[0] = 99
+	got, _, _, ok := c.get(key)
+	if !ok || got[0].Users[0] != 1 || got[0].POIs[0] != 7 {
+		t.Fatalf("insert path aliased caller slices: %+v", got)
+	}
+
+	// Overwrite path (the historical bug): refresh the same key, then
+	// mutate what was passed in.
+	fresh := []Answer{{Users: []int{3, 4}, POIs: []int{8}, Anchor: 8, MaxDistance: 2.5}}
+	c.put(key, fresh, Stats{}, true)
+	fresh[0].Users[1] = -1
+	got, _, _, ok = c.get(key)
+	if !ok || got[0].Users[1] != 4 {
+		t.Fatalf("overwrite path aliased caller slices: %+v", got)
+	}
+
+	// And mutating an answer handed back by get must not poison a re-get.
+	got[0].Users[0] = -7
+	again, _, _, _ := c.get(key)
+	if again[0].Users[0] != 3 {
+		t.Fatalf("get handed out a cache-owned slice: %+v", again)
+	}
+}
+
 func TestAnswerCacheDisabledByDefault(t *testing.T) {
 	net := figure1Network(t)
 	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})

@@ -1,0 +1,340 @@
+package gpssn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryCtxAlreadyCancelled pins the fast-fail contract: a context that
+// is already dead fails in well under 5ms — before the DB read lock, so a
+// long-running Compact cannot stall the rejection — with an error matching
+// both the typed sentinel and the context sentinel.
+func TestQueryCtxAlreadyCancelled(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err = db.QueryCtx(ctx, 0, q)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("errors.Is(err, context.Canceled) = false")
+	}
+	if elapsed >= 5*time.Millisecond {
+		t.Errorf("already-cancelled QueryCtx took %s, want <5ms", elapsed)
+	}
+
+	// Expired deadlines map to the deadline sentinel instead.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := db.QueryCtx(dctx, 0, q); !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline err = %v, want ErrDeadlineExceeded/context.DeadlineExceeded", err)
+	}
+
+	// QueryTopKCtx obeys the same contract.
+	if _, _, err := db.QueryTopKCtx(ctx, 0, q, 3); !errors.Is(err, ErrCancelled) {
+		t.Errorf("QueryTopKCtx err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestQueryCtxNeverPoisonsCache drives QueryCtx with deadlines scattered
+// from "already expired" to "expires mid-query" and asserts the core cache
+// invariant: a cancelled query never writes the answer cache, partial Stats
+// survive cancellation, and afterwards the DB still answers exactly like a
+// DB that never saw a cancellation.
+func TestQueryCtxNeverPoisonsCache(t *testing.T) {
+	net := stressNetwork(t)
+	cfg := Config{RoadPivots: 3, SocialPivots: 3, LeafSize: 16, Fanout: 4, CacheSize: 16}
+	db, err := Open(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.2, Theta: 0.3, Radius: 2}
+	users := []int{0, 5, 11, 23, 37, 52}
+
+	sawCancel := false
+	for i := 0; i < 60; i++ {
+		u := users[i%len(users)]
+		before := db.cache.len()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%12)*20*time.Microsecond)
+		ans, st, err := db.QueryCtx(ctx, u, q)
+		cancel()
+		switch {
+		case err == nil:
+			if len(ans.Users) != q.GroupSize {
+				t.Fatalf("user %d: malformed answer %+v", u, ans)
+			}
+		case errors.Is(err, ErrNoAnswer):
+			// feasibility outcome, cached like any other
+		case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrCancelled):
+			sawCancel = true
+			if st == nil {
+				t.Fatal("cancelled query returned nil stats")
+			}
+			if got := db.cache.len(); got != before {
+				t.Fatalf("cancelled query changed cache len %d -> %d", before, got)
+			}
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if !sawCancel {
+		t.Skip("no query was cancelled in time; nothing to assert (machine too fast)")
+	}
+
+	// After all that, answers must match a DB that never saw a cancellation.
+	clean, err := Open(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		a, _, errA := db.Query(u, q)
+		b, _, errB := clean.Query(u, q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("user %d: error mismatch after cancellations: %v vs %v", u, errA, errB)
+		}
+		if errA == nil && !reflect.DeepEqual(a, b) {
+			t.Fatalf("user %d: cancellations poisoned later answers:\n  got  %+v\n  want %+v", u, a, b)
+		}
+	}
+}
+
+// TestQueryBudgetTruncates pins the graceful-degradation contract of
+// Query.Budget: a starved budget yields either a flagged-truncated answer
+// whose cost is never better than the true optimum, or ErrNoAnswer with
+// Stats.Raw.Truncated set — never an error and never a silently-wrong
+// "optimal". Truncated outcomes must not enter the answer cache.
+func TestQueryBudgetTruncates(t *testing.T) {
+	net := stressNetwork(t)
+	db, err := Open(net, Config{RoadPivots: 3, SocialPivots: 3, LeafSize: 16, Fanout: 4, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Query{GroupSize: 2, Gamma: 0.2, Theta: 0.3, Radius: 2}
+	users := []int{0, 5, 11, 23, 37, 52}
+
+	// Reference optima with no budget.
+	type ref struct {
+		dist  float64
+		found bool
+	}
+	want := map[int]ref{}
+	for _, u := range users {
+		ans, _, err := db.Query(u, base)
+		if errors.Is(err, ErrNoAnswer) {
+			want[u] = ref{found: false}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[u] = ref{dist: ans.MaxDistance, found: true}
+	}
+	db.cache.invalidate()
+
+	for _, budget := range []Budget{
+		{MaxSettledVertices: 1},
+		{MaxSettledVertices: 2000},
+		{MaxRefinedAnchors: 1},
+	} {
+		q := base
+		q.Budget = budget
+		for _, u := range users {
+			before := db.cache.len()
+			ans, st, err := db.QueryCtx(context.Background(), u, q)
+			if err != nil && !errors.Is(err, ErrNoAnswer) {
+				t.Fatalf("budget %+v user %d: unexpected error %v", budget, u, err)
+			}
+			truncated := st.Raw.Truncated || (ans != nil && ans.Truncated)
+			if err == nil {
+				if ans.Truncated != st.Raw.Truncated {
+					t.Fatalf("budget %+v user %d: Answer.Truncated=%v disagrees with Stats.Raw.Truncated=%v",
+						budget, u, ans.Truncated, st.Raw.Truncated)
+				}
+				w := want[u]
+				if !w.found {
+					t.Fatalf("budget %+v user %d: budgeted query found an answer the unbudgeted one did not", budget, u)
+				}
+				// Soundness: a truncated answer is the best fully-evaluated
+				// candidate, so it can never beat the true optimum; an
+				// untruncated one must BE the optimum.
+				if ans.MaxDistance < w.dist-1e-9 {
+					t.Fatalf("budget %+v user %d: budgeted cost %v beats optimum %v", budget, u, ans.MaxDistance, w.dist)
+				}
+				if !ans.Truncated && math.Abs(ans.MaxDistance-w.dist) > 1e-9 {
+					t.Fatalf("budget %+v user %d: untruncated cost %v != optimum %v", budget, u, ans.MaxDistance, w.dist)
+				}
+			}
+			if truncated {
+				if got := db.cache.len(); got != before {
+					t.Fatalf("budget %+v user %d: truncated outcome was cached (len %d -> %d)", budget, u, before, got)
+				}
+			}
+			if budget.MaxSettledVertices > 0 && st.Raw.SettledWork == 0 && err == nil {
+				t.Errorf("budget %+v user %d: SettledWork not accounted", budget, u)
+			}
+		}
+	}
+
+	// The budget participates in the cache key: an unbudgeted answer cached
+	// first must not be served to a budgeted query or vice versa.
+	db.cache.invalidate()
+	if _, _, err := db.Query(users[0], base); err != nil && !errors.Is(err, ErrNoAnswer) {
+		t.Fatal(err)
+	}
+	qb := base
+	qb.Budget = Budget{MaxSettledVertices: 1}
+	if _, st, err := db.QueryCtx(context.Background(), users[0], qb); err == nil || errors.Is(err, ErrNoAnswer) {
+		if st.CacheHit {
+			t.Error("budgeted query was served the unbudgeted cache entry")
+		}
+	}
+}
+
+// TestStatsCacheHit verifies the stale-stats fix: a cache hit reports
+// CacheHit=true with zeroed cost counters (top-level and Raw), while the
+// original miss keeps its real figures.
+func TestStatsCacheHit(t *testing.T) {
+	net := figure1Network(t)
+	db, err := Open(net, Config{RoadPivots: 2, SocialPivots: 2, LeafSize: 2, Fanout: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.5, Theta: 0.5, Radius: 1.5}
+	_, st1, err := db.Query(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHit || st1.Raw.CacheHit {
+		t.Fatal("miss reported CacheHit")
+	}
+	_, st2, err := db.Query(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit || !st2.Raw.CacheHit {
+		t.Error("hit did not report CacheHit")
+	}
+	if st2.CPUTime != 0 || st2.PageReads != 0 || st2.Raw.CPUTime != 0 || st2.Raw.PageReads != 0 {
+		t.Errorf("hit carried stale cost counters: %+v", st2)
+	}
+
+	// The "no answer" outcome reports hits the same way.
+	hard := Query{GroupSize: 5, Gamma: 5, Theta: 0.5, Radius: 1}
+	if _, _, err := db.Query(0, hard); !errors.Is(err, ErrNoAnswer) {
+		t.Fatal("expected no answer")
+	}
+	_, st3, err := db.Query(0, hard)
+	if !errors.Is(err, ErrNoAnswer) {
+		t.Fatal("cached no-answer must repeat")
+	}
+	if !st3.CacheHit || st3.CPUTime != 0 || st3.PageReads != 0 {
+		t.Errorf("cached no-answer hit carried stale stats: %+v", st3)
+	}
+}
+
+// TestDBConcurrentCancelMixedLoad is the -race stress for the cancellation
+// path: concurrent QueryCtx calls — some cancelled mid-refinement at
+// Parallelism 8 under the hl oracle — interleave with dynamic updates and a
+// Compact. All refinement workers must drain (no goroutine leak), no answer
+// may be torn, and cancelled queries must never write the cache.
+func TestDBConcurrentCancelMixedLoad(t *testing.T) {
+	net := stressNetwork(t)
+	db, err := Open(net, Config{
+		RoadPivots: 3, SocialPivots: 3, LeafSize: 16, Fanout: 4,
+		CacheSize: 8, Parallelism: 8, DistanceOracle: "hl",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{GroupSize: 2, Gamma: 0.2, Theta: 0.3, Radius: 2}
+	users := []int{0, 5, 11, 23, 37, 52}
+
+	baseline := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	const queriers = 8
+	const iters = 15
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				u := users[(g+it)%len(users)]
+				// Stagger deadlines from instant to comfortably-finishing so
+				// some queries die mid-refinement and others complete.
+				timeout := time.Duration((g*iters+it)%16) * 50 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				ans, st, err := db.QueryCtx(ctx, u, q)
+				cancel()
+				switch {
+				case err == nil:
+					if len(ans.Users) != q.GroupSize || len(ans.POIs) == 0 || ans.MaxDistance < 0 {
+						t.Errorf("torn answer for user %d: %+v", u, ans)
+						return
+					}
+				case errors.Is(err, ErrNoAnswer):
+				case errors.Is(err, ErrCancelled) || errors.Is(err, ErrDeadlineExceeded):
+					if st == nil {
+						t.Error("cancelled query returned nil stats")
+						return
+					}
+				default:
+					t.Errorf("unexpected error for user %d: %v", u, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := db.AddPOI(float64(i), 0.5, i%net.NumTopics()); err != nil {
+				t.Errorf("AddPOI: %v", err)
+				return
+			}
+			if err := db.AddFriendship(users[i], users[i+1]); err != nil {
+				t.Errorf("AddFriendship: %v", err)
+				return
+			}
+			if i == 2 {
+				if err := db.Compact(); err != nil {
+					t.Errorf("Compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Every per-query refinement worker must have drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Errorf("goroutine leak: %d running, baseline %d", n, baseline)
+	}
+
+	// Quiesced sanity: uncancelled queries still work and agree with a
+	// fresh engine over the final network.
+	for _, u := range users {
+		if _, _, err := db.Query(u, q); err != nil && !errors.Is(err, ErrNoAnswer) {
+			t.Fatalf("post-race Query(%d): %v", u, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,14 +19,15 @@ import (
 
 func main() {
 	var (
-		data  = flag.String("data", "", "dataset file from gpssn-gen (required)")
-		user  = flag.Int("user", 0, "query issuer user id")
-		tau   = flag.Int("tau", 5, "group size including the issuer")
-		gamma = flag.Float64("gamma", 0.5, "pairwise interest threshold")
-		theta = flag.Float64("theta", 0.5, "user-POI matching threshold")
-		r     = flag.Float64("r", 2, "POI ball radius")
-		k     = flag.Int("k", 1, "number of answers (distinct anchors)")
-		trace = flag.Bool("trace", false, "log the query's pruning phases to stderr")
+		data    = flag.String("data", "", "dataset file from gpssn-gen (required)")
+		user    = flag.Int("user", 0, "query issuer user id")
+		tau     = flag.Int("tau", 5, "group size including the issuer")
+		gamma   = flag.Float64("gamma", 0.5, "pairwise interest threshold")
+		theta   = flag.Float64("theta", 0.5, "user-POI matching threshold")
+		r       = flag.Float64("r", 2, "POI ball radius")
+		k       = flag.Int("k", 1, "number of answers (distinct anchors)")
+		trace   = flag.Bool("trace", false, "log the query's pruning phases to stderr")
+		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -57,13 +59,24 @@ func main() {
 		db.Engine().Opts.Trace = os.Stderr
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	q := gpssn.Query{GroupSize: *tau, Gamma: *gamma, Theta: *theta, Radius: *r}
 	if *k <= 1 {
-		ans, stats, err := db.Query(*user, q)
+		ans, stats, err := db.QueryCtx(ctx, *user, q)
 		if err != nil {
 			if errors.Is(err, gpssn.ErrNoAnswer) {
 				fmt.Printf("no feasible answer (CPU %s, %d I/Os)\n", stats.CPUTime, stats.PageReads)
 				return
+			}
+			if errors.Is(err, gpssn.ErrDeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "gpssn-query: timed out after %s\n", *timeout)
+				os.Exit(1)
 			}
 			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
 			os.Exit(1)
@@ -73,8 +86,12 @@ func main() {
 			stats.CPUTime, stats.PageReads, stats.CandidateUsers, stats.CandidateAnchors)
 		return
 	}
-	answers, stats, err := db.QueryTopK(*user, q, *k)
+	answers, stats, err := db.QueryTopKCtx(ctx, *user, q, *k)
 	if err != nil {
+		if errors.Is(err, gpssn.ErrDeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "gpssn-query: timed out after %s\n", *timeout)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
 		os.Exit(1)
 	}
@@ -93,4 +110,7 @@ func printAnswer(ans gpssn.Answer) {
 	fmt.Printf("group S: %v\n", ans.Users)
 	fmt.Printf("POI set R (anchor %d): %v\n", ans.Anchor, ans.POIs)
 	fmt.Printf("max road distance: %.4f\n", ans.MaxDistance)
+	if ans.Truncated {
+		fmt.Println("(budget-truncated: best fully-evaluated answer, not necessarily optimal)")
+	}
 }

@@ -32,6 +32,7 @@
 package gpssn
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -172,6 +173,29 @@ type Query struct {
 	Radius float64
 	// Metric selects the similarity; zero value is the paper's DotProduct.
 	Metric Metric
+	// Budget caps the work this query may spend; the zero value is
+	// unlimited. A budget-truncated query degrades gracefully: it returns
+	// the best answer it fully evaluated, flagged Answer.Truncated, and is
+	// never silently wrong. Budget participates in the answer-cache key, and
+	// truncated results are never cached.
+	Budget Budget
+}
+
+// Budget caps the work one query may spend. See core.Budget for the
+// soundness argument: an interrupted road search yields no partial
+// distances, so every figure a truncated answer reports is exact.
+type Budget struct {
+	// MaxSettledVertices caps road-search work units (settled vertices for
+	// Dijkstra/CH scans, merged label entries for the hub-label kernel)
+	// across all searches of one query. 0 = unlimited.
+	MaxSettledVertices int64
+	// MaxRefinedAnchors caps how many anchor candidates refinement fully
+	// evaluates. 0 = unlimited.
+	MaxRefinedAnchors int
+}
+
+func (b Budget) internal() core.Budget {
+	return core.Budget{MaxSettledVertices: b.MaxSettledVertices, MaxRefinedAnchors: b.MaxRefinedAnchors}
 }
 
 // Answer is a GP-SSN result.
@@ -184,6 +208,10 @@ type Answer struct {
 	Anchor int
 	// MaxDistance is the minimized max road distance between S and R.
 	MaxDistance float64
+	// Truncated is set when a Query.Budget cut the search short: the answer
+	// is the best fully-evaluated candidate, not necessarily the optimum.
+	// Truncated answers are never cached.
+	Truncated bool
 }
 
 // Stats reports per-query cost, matching the paper's two metrics plus the
@@ -196,6 +224,10 @@ type Stats struct {
 	PageReads int64
 	// CandidateUsers and CandidateAnchors survive the index traversal.
 	CandidateUsers, CandidateAnchors int
+	// CacheHit is set when the answer came from the answer cache; the cost
+	// counters (CPUTime, PageReads) are zeroed on hits so harnesses never
+	// mistake a cache lookup for query work.
+	CacheHit bool
 	// Raw exposes every pruning counter for experiment harnesses.
 	Raw core.Stats
 }
@@ -288,10 +320,69 @@ func Open(net *Network, cfg Config) (*DB, error) {
 // dynamic updates (updates grow the user and POI sets the accessors read).
 func (db *DB) Network() *Network { return db.net }
 
+// params maps a facade query onto the engine's parameter struct.
+func (q Query) params() core.Params {
+	return core.Params{
+		Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius,
+		Metric: q.Metric.internal(),
+		Budget: q.Budget.internal(),
+	}
+}
+
+// statsFrom lifts the engine's raw counters into the public Stats.
+func statsFrom(raw core.Stats) *Stats {
+	return &Stats{
+		CPUTime:          raw.CPUTime,
+		PageReads:        raw.PageReads,
+		CandidateUsers:   raw.CandUsers,
+		CandidateAnchors: raw.CandAnchors,
+		Raw:              raw,
+	}
+}
+
+// markCacheHit turns a cached Stats snapshot into a hit report: the flag is
+// set (top-level and Raw) and the cost counters are zeroed so a cache
+// lookup never masquerades as query work.
+func markCacheHit(st *Stats) {
+	st.CacheHit = true
+	st.CPUTime = 0
+	st.PageReads = 0
+	st.Raw.CacheHit = true
+	st.Raw.CPUTime = 0
+	st.Raw.PageReads = 0
+}
+
+// answerFrom converts one engine result.
+func answerFrom(res core.Result, truncated bool) Answer {
+	ans := Answer{Anchor: int(res.Anchor), MaxDistance: res.MaxDist, Truncated: truncated}
+	for _, u := range res.S {
+		ans.Users = append(ans.Users, int(u))
+	}
+	for _, o := range res.R {
+		ans.POIs = append(ans.POIs, int(o))
+	}
+	return ans
+}
+
 // Query answers a GP-SSN query for the given issuer. It returns
 // ErrNoAnswer (wrapped) when no feasible group/POI pair exists. Safe for
 // concurrent use: any number of goroutines may call Query on one DB.
 func (db *DB) Query(user int, q Query) (*Answer, *Stats, error) {
+	return db.QueryCtx(context.Background(), user, q)
+}
+
+// QueryCtx is Query with cooperative cancellation: it aborts promptly when
+// ctx is cancelled or its deadline passes, returning an error matching
+// ErrCancelled/ErrDeadlineExceeded (and the context sentinels) via
+// errors.Is, with the partial Stats gathered so far. Cancelled and
+// budget-truncated outcomes are never written to the answer cache, so a
+// cancelled query cannot poison later ones.
+func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (*Answer, *Stats, error) {
+	// Check before taking the read lock: Compact can hold the write lock
+	// for seconds, and an already-dead context must fail in microseconds.
+	if err := core.ContextError(ctx); err != nil {
+		return nil, &Stats{}, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if user < 0 || user >= len(db.net.ds.Users) {
@@ -299,78 +390,69 @@ func (db *DB) Query(user int, q Query) (*Answer, *Stats, error) {
 	}
 	key := cacheKey{user: user, q: q, k: 1}
 	if answers, stats, found, ok := db.cache.get(key); ok {
+		markCacheHit(&stats)
 		if !found {
 			return nil, &stats, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
 		}
 		return &answers[0], &stats, nil
 	}
-	p := core.Params{
-		Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius,
-		Metric: q.Metric.internal(),
-	}
-	res, raw, err := db.engine.Query(socialnet.UserID(user), p)
+	res, raw, err := db.engine.QueryCtx(ctx, socialnet.UserID(user), q.params())
+	st := statsFrom(raw)
 	if err != nil {
-		return nil, nil, err
-	}
-	st := &Stats{
-		CPUTime:          raw.CPUTime,
-		PageReads:        raw.PageReads,
-		CandidateUsers:   raw.CandUsers,
-		CandidateAnchors: raw.CandAnchors,
-		Raw:              raw,
+		return nil, st, err
 	}
 	if !res.Found {
-		db.cache.put(key, nil, *st, false)
+		if !raw.Truncated {
+			db.cache.put(key, nil, *st, false)
+		}
 		return nil, st, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
 	}
-	ans := &Answer{
-		Anchor:      int(res.Anchor),
-		MaxDistance: res.MaxDist,
+	ans := answerFrom(res, raw.Truncated)
+	if !raw.Truncated {
+		db.cache.put(key, []Answer{ans}, *st, true)
 	}
-	for _, u := range res.S {
-		ans.Users = append(ans.Users, int(u))
-	}
-	for _, o := range res.R {
-		ans.POIs = append(ans.POIs, int(o))
-	}
-	db.cache.put(key, []Answer{cloneAnswer(*ans)}, *st, true)
-	return ans, st, nil
+	return &ans, st, nil
 }
 
 // QueryTopK returns up to k answers with distinct anchor POIs, cheapest
 // first. It returns an empty slice (and no error) when nothing is feasible.
-// Safe for concurrent use, like Query.
+// Safe for concurrent use, like Query. Results go through the same answer
+// cache as Query, keyed by (user, query, k); the empty outcome is cached
+// too.
 func (db *DB) QueryTopK(user int, q Query, k int) ([]Answer, *Stats, error) {
+	return db.QueryTopKCtx(context.Background(), user, q, k)
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation, under the same
+// contract as QueryCtx.
+func (db *DB) QueryTopKCtx(ctx context.Context, user int, q Query, k int) ([]Answer, *Stats, error) {
+	if err := core.ContextError(ctx); err != nil {
+		return nil, &Stats{}, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if user < 0 || user >= len(db.net.ds.Users) {
 		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
 	}
-	p := core.Params{
-		Gamma: q.Gamma, Tau: q.GroupSize, Theta: q.Theta, R: q.Radius,
-		Metric: q.Metric.internal(),
+	key := cacheKey{user: user, q: q, k: k}
+	if answers, stats, found, ok := db.cache.get(key); ok {
+		markCacheHit(&stats)
+		if !found {
+			return []Answer{}, &stats, nil
+		}
+		return answers, &stats, nil
 	}
-	results, raw, err := db.engine.QueryTopK(socialnet.UserID(user), p, k)
+	results, raw, err := db.engine.QueryTopKCtx(ctx, socialnet.UserID(user), q.params(), k)
+	st := statsFrom(raw)
 	if err != nil {
-		return nil, nil, err
-	}
-	st := &Stats{
-		CPUTime:          raw.CPUTime,
-		PageReads:        raw.PageReads,
-		CandidateUsers:   raw.CandUsers,
-		CandidateAnchors: raw.CandAnchors,
-		Raw:              raw,
+		return nil, st, err
 	}
 	answers := make([]Answer, 0, len(results))
 	for _, res := range results {
-		ans := Answer{Anchor: int(res.Anchor), MaxDistance: res.MaxDist}
-		for _, u := range res.S {
-			ans.Users = append(ans.Users, int(u))
-		}
-		for _, o := range res.R {
-			ans.POIs = append(ans.POIs, int(o))
-		}
-		answers = append(answers, ans)
+		answers = append(answers, answerFrom(res, raw.Truncated))
+	}
+	if !raw.Truncated {
+		db.cache.put(key, answers, *st, len(answers) > 0)
 	}
 	return answers, st, nil
 }
@@ -386,3 +468,12 @@ func (db *DB) Engine() *core.Engine {
 
 // ErrNoAnswer is returned (wrapped) when a query has no feasible result.
 var ErrNoAnswer = fmt.Errorf("gpssn: no feasible answer")
+
+// ErrCancelled is wrapped into the error QueryCtx/QueryTopKCtx return when
+// the caller's context is cancelled mid-query; errors.Is also matches
+// context.Canceled on the same error.
+var ErrCancelled = core.ErrCancelled
+
+// ErrDeadlineExceeded is the ErrCancelled analogue for an expired deadline;
+// errors.Is also matches context.DeadlineExceeded.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
+	"gpssn/internal/core"
 	"gpssn/internal/socialnet"
 )
 
@@ -88,6 +90,35 @@ func TestRunQueriesAggregates(t *testing.T) {
 	}
 	if agg.Sum.SNUsersTotal != 4*env.DS.Social.NumUsers() {
 		t.Error("stats not aggregated")
+	}
+}
+
+// TestAggExcludesCacheHits pins the aggregation contract for cached
+// queries: a CacheHit stat bumps the hit counter but contributes nothing to
+// the cost averages or pruning sums, so cache lookups can never dilute the
+// paper's CPU/I-O figures.
+func TestAggExcludesCacheHits(t *testing.T) {
+	var agg Agg
+	agg.Add(true, core.Stats{CPUTime: 100 * time.Millisecond, PageReads: 40, CandUsers: 7})
+	agg.Add(true, core.Stats{CPUTime: 300 * time.Millisecond, PageReads: 80, CandUsers: 9})
+	// A cache hit: counters zeroed by the facade, flag set.
+	agg.Add(true, core.Stats{CacheHit: true})
+
+	if agg.Queries != 3 || agg.Found != 3 {
+		t.Errorf("Queries/Found = %d/%d, want 3/3", agg.Queries, agg.Found)
+	}
+	if agg.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", agg.CacheHits)
+	}
+	// Averages are over the 2 real queries, not 3.
+	if agg.AvgCPU != 200*time.Millisecond {
+		t.Errorf("AvgCPU = %s, want 200ms (hit excluded)", agg.AvgCPU)
+	}
+	if agg.AvgIO != 60 {
+		t.Errorf("AvgIO = %v, want 60 (hit excluded)", agg.AvgIO)
+	}
+	if agg.Sum.CandUsers != 16 {
+		t.Errorf("Sum.CandUsers = %d, want 16", agg.Sum.CandUsers)
 	}
 }
 

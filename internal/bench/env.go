@@ -268,8 +268,12 @@ func (e *Env) QueryUsers(n int, seed int64) []socialnet.UserID {
 
 // Agg aggregates query statistics across issuers.
 type Agg struct {
-	Queries   int
-	Found     int
+	Queries int
+	Found   int
+	// CacheHits counts queries answered from an answer cache. Hits carry
+	// zeroed cost counters, so Add excludes them from every cost figure —
+	// AvgCPU/AvgIO measure actual query work, never cache lookups.
+	CacheHits int
 	AvgCPU    time.Duration
 	AvgIO     float64
 	Sum       core.Stats
@@ -277,32 +281,44 @@ type Agg struct {
 	PairsEval int64
 	// PairsTotalLog2 of the (identical) pair space.
 	PairsTotalLog2 float64
+
+	cpu time.Duration
+	io  int64
+}
+
+// Add folds one query's outcome into the aggregate and refreshes the
+// averages. Cache hits bump Queries/Found/CacheHits but contribute nothing
+// to the cost sums.
+func (agg *Agg) Add(found bool, st core.Stats) {
+	agg.Queries++
+	if found {
+		agg.Found++
+	}
+	if st.CacheHit {
+		agg.CacheHits++
+	} else {
+		agg.cpu += st.CPUTime
+		agg.io += st.PageReads
+		addStats(&agg.Sum, st)
+		agg.PairsEval += st.PairsEvaluated
+		agg.PairsTotalLog2 = st.PairsTotalLog2
+	}
+	if n := agg.Queries - agg.CacheHits; n > 0 {
+		agg.AvgCPU = agg.cpu / time.Duration(n)
+		agg.AvgIO = float64(agg.io) / float64(n)
+	}
 }
 
 // RunQueries executes the parameterized query for every issuer and
 // aggregates costs and pruning counters.
 func (e *Env) RunQueries(p core.Params, users []socialnet.UserID) (Agg, error) {
 	var agg Agg
-	var cpu time.Duration
-	var io int64
 	for _, u := range users {
 		res, st, err := e.Engine.Query(u, p)
 		if err != nil {
 			return agg, fmt.Errorf("query user %d: %w", u, err)
 		}
-		agg.Queries++
-		if res.Found {
-			agg.Found++
-		}
-		cpu += st.CPUTime
-		io += st.PageReads
-		addStats(&agg.Sum, st)
-		agg.PairsEval += st.PairsEvaluated
-		agg.PairsTotalLog2 = st.PairsTotalLog2
-	}
-	if agg.Queries > 0 {
-		agg.AvgCPU = cpu / time.Duration(agg.Queries)
-		agg.AvgIO = float64(io) / float64(agg.Queries)
+		agg.Add(res.Found, st)
 	}
 	return agg, nil
 }

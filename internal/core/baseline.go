@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -33,16 +34,45 @@ func (b *Baseline) Query(uq socialnet.UserID, p Params) (Result, int64) {
 	return res[0], pairs
 }
 
+// QueryCtx is Query with cooperative cancellation, so oracle tests against
+// adversarial parameters can be time-bounded. The error matches
+// ErrCancelled/ErrDeadlineExceeded and the context sentinels via errors.Is.
+func (b *Baseline) QueryCtx(ctx context.Context, uq socialnet.UserID, p Params) (Result, int64, error) {
+	res, pairs, err := b.QueryTopKCtx(ctx, uq, p, 1)
+	if err != nil || len(res) == 0 {
+		return Result{MaxDist: math.Inf(1)}, pairs, err
+	}
+	return res[0], pairs, nil
+}
+
 // QueryTopK brute-forces the k best answers with distinct anchors,
 // cheapest first (the oracle for Engine.QueryTopK).
 func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, int64) {
+	res, pairs, _ := b.QueryTopKCtx(context.Background(), uq, p, k)
+	return res, pairs
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation: the group
+// enumeration, the per-anchor loop, and the underlying road searches all
+// poll the context.
+func (b *Baseline) QueryTopKCtx(ctx context.Context, uq socialnet.UserID, p Params, k int) ([]Result, int64, error) {
 	ds := b.DS
 	var pairs int64
+	var ck *roadnet.Checkpoint
+	if ctx.Done() != nil {
+		ck = roadnet.NewCheckpoint(ctx.Done(), func() error { return ContextError(ctx) }, 0)
+	}
+	if ck.Cancelled() {
+		return nil, 0, ContextError(ctx)
+	}
 
 	// All connected τ-subsets containing uq with pairwise similarity >= γ.
-	groups := b.enumerateGroups(uq, p)
+	groups := b.enumerateGroups(uq, p, ck)
+	if ck.Cancelled() {
+		return nil, 0, ContextError(ctx)
+	}
 	if len(groups) == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 
 	// Exact per-user vertex distances, computed once per involved user.
@@ -53,11 +83,13 @@ func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, in
 		}
 		at := ds.Users[u].At
 		edge := ds.Road.EdgeAt(at.Edge)
-		dv := ds.Road.DijkstraMulti([]roadnet.Seed{
+		dv := ds.Road.DijkstraMultiCk([]roadnet.Seed{
 			{Vertex: edge.U, Dist: at.T * edge.Weight},
 			{Vertex: edge.V, Dist: (1 - at.T) * edge.Weight},
-		})
-		distCache[u] = dv
+		}, ck)
+		if !ck.Stopped() {
+			distCache[u] = dv
+		}
 		return dv
 	}
 	attDist := func(u socialnet.UserID, at roadnet.Attach) float64 {
@@ -78,8 +110,11 @@ func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, in
 		allAtts[i] = ds.POIs[i].At
 	}
 	for ai := range ds.POIs {
+		if ck.Cancelled() {
+			return nil, pairs, ContextError(ctx)
+		}
 		anchor := model.POIID(ai)
-		dists := ds.Road.DistAttachWithin(ds.POIs[ai].At, p.R, allAtts)
+		dists := ds.Road.DistAttachWithinCk(ds.POIs[ai].At, p.R, allAtts, ck)
 		var ball []model.POIID
 		for j := range ds.POIs {
 			if !math.IsInf(dists[j], 1) {
@@ -97,6 +132,9 @@ func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, in
 		}
 		anchorBest := Result{MaxDist: math.Inf(1)}
 		for _, S := range groups {
+			if ck.Cancelled() {
+				return nil, pairs, ContextError(ctx)
+			}
 			pairs++
 			feasible := true
 			for _, u := range S {
@@ -134,17 +172,26 @@ func (b *Baseline) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, in
 			keeper.add(anchorBest)
 		}
 	}
-	return keeper.items, pairs
+	if ck.Cancelled() {
+		return nil, pairs, ContextError(ctx)
+	}
+	return keeper.items, pairs, nil
 }
 
 // enumerateGroups lists every connected τ-subset containing uq whose pairs
-// all meet the similarity threshold.
-func (b *Baseline) enumerateGroups(uq socialnet.UserID, p Params) [][]socialnet.UserID {
+// all meet the similarity threshold. ck may be nil; a cancelled enumeration
+// returns a partial list the caller must discard (it checks ck afterwards).
+func (b *Baseline) enumerateGroups(uq socialnet.UserID, p Params, ck *roadnet.Checkpoint) [][]socialnet.UserID {
 	ds := b.DS
 	var out [][]socialnet.UserID
 	cur := []socialnet.UserID{uq}
+	calls := 0
 	var rec func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool)
 	rec = func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool) {
+		if calls&255 == 0 && ck.Cancelled() {
+			return
+		}
+		calls++
 		if len(cur) == p.Tau {
 			out = append(out, append([]socialnet.UserID(nil), cur...))
 			return

@@ -75,12 +75,12 @@ func TestMOfHonorsCacheCaps(t *testing.T) {
 	// Ground truth from uncached full searches (no oracle attached yet).
 	want := make([]float64, len(ds.Users))
 	for u := range ds.Users {
-		want[u] = mFromVertexDist(e, socialnet.UserID(u), ball, e.userVertexDist(socialnet.UserID(u)))
+		want[u] = mFromVertexDist(e, socialnet.UserID(u), ball, e.userVertexDist(socialnet.UserID(u), nil))
 	}
 
 	const cap = 8
 	cache := newVertexDistCacheWith(cap, 1<<26)
-	mOf := e.makeMOf(cache, ball, nil)
+	mOf := e.makeMOf(cache, ball, nil, nil)
 	for u := range ds.Users {
 		if got := mOf(socialnet.UserID(u)); math.Abs(got-want[u]) > 1e-9 {
 			t.Fatalf("array mode: mOf(%d) = %v, want %v", u, got, want[u])
@@ -97,7 +97,7 @@ func TestMOfHonorsCacheCaps(t *testing.T) {
 	// and byte usage reflecting label-sized entries rather than O(V) arrays.
 	ds.Road.SetDistanceOracle(hl.Build(ds.Road))
 	lcache := newVertexDistCacheWith(cap, 1<<26)
-	mOfL := e.makeMOf(lcache, ball, nil)
+	mOfL := e.makeMOf(lcache, ball, nil, nil)
 	for u := range ds.Users {
 		got := mOfL(socialnet.UserID(u))
 		if math.Abs(got-want[u]) > 1e-9*math.Max(1, want[u]) {

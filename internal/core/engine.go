@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpssn/internal/index"
@@ -137,6 +139,18 @@ type Stats struct {
 	// total pair count C(m-1, τ-1)·n of the brute-force space (Fig 7(d)).
 	PairsEvaluated int64
 	PairsTotalLog2 float64 // log2 of the total pair count (it overflows)
+
+	// SettledWork is the road-search work this query consumed (settled
+	// vertices / merged label entries), counted only when a context or
+	// budget armed the query's checkpoint; 0 otherwise.
+	SettledWork int64
+	// Truncated reports that a Params.Budget cut the search short: the
+	// answer is the best fully-evaluated one, not necessarily optimal.
+	Truncated bool
+	// CacheHit is set by the facade when the answer was served from the
+	// answer cache; the cost counters are zeroed then (no work was
+	// replayed) and experiment aggregation excludes the query.
+	CacheHit bool
 }
 
 // qctx is the per-query mutable state: stats, page-I/O trackers with their
@@ -148,6 +162,16 @@ type qctx struct {
 	road   *pagesim.Tracker
 	social *pagesim.Tracker
 	trace  *bytes.Buffer
+
+	// Cancellation/budget state (see cancel.go). ctx is the caller's
+	// context (context.Background() from the legacy entry points), ck the
+	// cooperative checkpoint shared with the road-network searches — nil
+	// unless the query is cancellable or budgeted, which keeps the plain
+	// query path bit-identical to the unchecked engine.
+	ctx        context.Context
+	ck         *roadnet.Checkpoint
+	maxAnchors int
+	truncated  atomic.Bool
 }
 
 // newQctx allocates a query context with fresh cold-cache trackers (the
@@ -178,6 +202,7 @@ func (q *qctx) tracef(format string, args ...interface{}) {
 func (e *Engine) finish(q *qctx, start time.Time, p Params) {
 	q.st.CPUTime = time.Since(start)
 	q.st.PageReads = q.road.Reads() + q.social.Reads()
+	q.st.SettledWork = q.ck.Spent()
 	q.st.PairsTotalLog2 = pairsTotalLog2(len(e.DS.Users)-1, p.Tau-1, len(e.DS.POIs))
 	if q.trace != nil && e.Opts.Trace != nil {
 		e.traceMu.Lock()
@@ -190,6 +215,18 @@ func (e *Engine) finish(q *qctx, start time.Time, p Params) {
 // concurrent use: any number of goroutines may query one Engine, each call
 // gets its own isolated Stats and cold-cache I/O accounting.
 func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
+	return e.QueryCtx(context.Background(), uq, p)
+}
+
+// QueryCtx is Query with cooperative cancellation: the traversal checks the
+// context at anchor-candidate granularity, refinement per work item, and
+// the road-network searches every few hundred settled vertices, so a
+// cancel or deadline aborts promptly at any Parallelism. A cancelled query
+// returns an error matching both ErrCancelled/ErrDeadlineExceeded and the
+// context's own sentinel via errors.Is, with the partial Stats intact.
+// A Params.Budget instead degrades gracefully (see Budget). With a
+// background context and no budget the answer is bit-identical to Query's.
+func (e *Engine) QueryCtx(ctx context.Context, uq socialnet.UserID, p Params) (Result, Stats, error) {
 	var st Stats
 	if err := p.Validate(e.Road.RMin, e.Road.RMax); err != nil {
 		return Result{}, st, err
@@ -197,10 +234,14 @@ func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 	if uq < 0 || int(uq) >= len(e.DS.Users) {
 		return Result{}, st, fmt.Errorf("core: query user %d out of range", uq)
 	}
+	if err := ContextError(ctx); err != nil {
+		return Result{MaxDist: math.Inf(1)}, st, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	start := time.Now()
 	q := e.newQctx(&st)
+	q.arm(ctx, p.Budget)
 
 	st.SNUsersTotal = len(e.DS.Users)
 	st.RNPOIsTotal = len(e.DS.POIs)
@@ -208,15 +249,22 @@ func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 	// A cheap feasibility probe around the issuer's nearest anchors seeds
 	// the pruning threshold δ with the cost of a verified feasible
 	// solution, so distance pruning is armed from the first index level.
-	probe := e.probe(uq, p)
+	probe := e.probe(uq, p, q)
 	q.tracef("probe: found=%v cost=%.4f", probe.res.Found, probe.res.MaxDist)
 	trav := e.traverse(uq, p, 1, probe.res.MaxDist, q)
 	q.tracef("traversal: %d candidate users, %d candidate anchors, delta=%.4f",
 		len(trav.candUsers), len(trav.candAnchors), trav.delta)
-	res := e.refine(uq, p, 1, trav, probe, q)
-	q.tracef("refined: pairs evaluated=%d", st.PairsEvaluated)
+	var res []Result
+	if !q.cancelled() {
+		res = e.refine(uq, p, 1, trav, probe, q)
+		q.tracef("refined: pairs evaluated=%d", st.PairsEvaluated)
+	}
 
 	e.finish(q, start, p)
+	if err := q.cancelErr(); err != nil {
+		return Result{MaxDist: math.Inf(1)}, st, err
+	}
+	st.Truncated = q.wasTruncated()
 	if len(res) == 0 {
 		return Result{MaxDist: math.Inf(1)}, st, nil
 	}
@@ -229,6 +277,12 @@ func (e *Engine) Query(uq socialnet.UserID, p Params) (Result, Stats, error) {
 // δ to the k-th best known upper bound so no top-k member is lost. Safe
 // for concurrent use, like Query.
 func (e *Engine) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, Stats, error) {
+	return e.QueryTopKCtx(context.Background(), uq, p, k)
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation and budgeting,
+// under the same contract as QueryCtx.
+func (e *Engine) QueryTopKCtx(ctx context.Context, uq socialnet.UserID, p Params, k int) ([]Result, Stats, error) {
 	var st Stats
 	if k < 1 {
 		return nil, st, fmt.Errorf("core: k must be >= 1, got %d", k)
@@ -239,22 +293,33 @@ func (e *Engine) QueryTopK(uq socialnet.UserID, p Params, k int) ([]Result, Stat
 	if uq < 0 || int(uq) >= len(e.DS.Users) {
 		return nil, st, fmt.Errorf("core: query user %d out of range", uq)
 	}
+	if err := ContextError(ctx); err != nil {
+		return nil, st, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	start := time.Now()
 	q := e.newQctx(&st)
+	q.arm(ctx, p.Budget)
 	st.SNUsersTotal = len(e.DS.Users)
 	st.RNPOIsTotal = len(e.DS.POIs)
 
-	probe := e.probe(uq, p)
+	probe := e.probe(uq, p, q)
 	delta0 := math.Inf(1)
 	if k == 1 {
 		delta0 = probe.res.MaxDist
 	}
 	trav := e.traverse(uq, p, k, delta0, q)
-	res := e.refine(uq, p, k, trav, probe, q)
+	var res []Result
+	if !q.cancelled() {
+		res = e.refine(uq, p, k, trav, probe, q)
+	}
 
 	e.finish(q, start, p)
+	if err := q.cancelErr(); err != nil {
+		return nil, st, err
+	}
+	st.Truncated = q.wasTruncated()
 	return res, st, nil
 }
 
@@ -362,6 +427,13 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 		sortHeap(cur)
 		var next []heapEntry
 		for i, he := range cur {
+			// Cancellation is polled at anchor-candidate granularity: once
+			// per heap entry and per leaf POI below. A cancelled traversal
+			// just stops expanding — the query errors out afterwards, so a
+			// short candidate list is never observable as an answer.
+			if q.cancelled() {
+				return nil
+			}
 			if !e.Opts.DisableDistancePruning && he.key > tr.delta {
 				// Lines 13-14: everything remaining is prunable.
 				for _, rest := range cur[i:] {
@@ -374,6 +446,9 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 			n := he.node
 			if n.IsLeaf() {
 				for _, ent := range n.Entries() {
+					if q.cancelled() {
+						return nil
+					}
 					id := model.POIID(ent.ID)
 					// Both rules are evaluated on every leaf POI — the
 					// object is pruned when either fires, and each rule's
@@ -443,6 +518,9 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 
 	// Synchronized top-down sweep (Algorithm 2 lines 4-26).
 	for level := e.Social.Height() - 1; level >= 0; level-- {
+		if q.cancelled() {
+			return tr
+		}
 		var nextNodes []*index.SNode
 		for _, n := range sNodes {
 			if n.IsLeaf() {
@@ -506,7 +584,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 	}
 
 	// Lines 27-28: finish any remaining I_R levels.
-	for len(heap) > 0 {
+	for len(heap) > 0 && !q.cancelled() {
 		heap = processRNLevel(heap)
 	}
 	// Main+delta: POIs appended after the index build become anchors.

@@ -19,6 +19,10 @@ type Params struct {
 	// Metric selects the user similarity (MetricDotProduct is the paper's
 	// Eq. (1); Jaccard/Hamming are the future-work extensions).
 	Metric InterestMetric
+	// Budget optionally caps the work this query may spend. The zero value
+	// is unlimited; see the Budget type for the graceful-degradation
+	// semantics of a capped query.
+	Budget Budget
 }
 
 // DefaultParams returns the paper's default parameter values (the bold

@@ -26,7 +26,7 @@ type probeResult struct {
 // anchor POIs by greedy connected group growth. Its cost, when found, is a
 // sound upper bound on the optimum (it is the cost of an actual feasible
 // pair), so it can seed δ and the refinement incumbent.
-func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
+func (e *Engine) probe(uq socialnet.UserID, p Params, q *qctx) probeResult {
 	pr := probeResult{
 		res:   Result{MaxDist: math.Inf(1)},
 		cache: newVertexDistCache(),
@@ -37,11 +37,14 @@ func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
 	nn := e.Road.Tree.Nearest(ds.Users[uq].Loc, probeAnchors)
 	tried := map[model.POIID]bool{}
 	tryAnchor := func(anchor model.POIID) {
-		if tried[anchor] {
+		if tried[anchor] || q.ck.Stopped() {
 			return
 		}
 		tried[anchor] = true
-		ball := e.ballAround(anchor, p.R)
+		ball := e.ballAround(anchor, p.R, q.ck)
+		if q.ck.Stopped() {
+			return // degenerate ball (see refine's processAnchor)
+		}
 		kws := NewTopicSet(ds.NumTopics)
 		for _, o := range ball {
 			for _, k := range ds.POIs[o].Keywords {
@@ -51,7 +54,7 @@ func (e *Engine) probe(uq socialnet.UserID, p Params) probeResult {
 		if MatchScoreSet(uqW, kws) < p.Theta {
 			return
 		}
-		mOf := e.makeMOf(pr.cache, ball, nil)
+		mOf := e.makeMOf(pr.cache, ball, nil, q.ck)
 		mUq := mOf(uq)
 		if mUq >= pr.res.MaxDist {
 			return
@@ -387,7 +390,7 @@ func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.Hub
 // pruning). keeper == nil (the probe) means unbounded exact evaluation.
 // The returned closure reuses one output buffer and must not be called
 // concurrently; build one evaluator per worker/anchor.
-func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sharedKeeper) func(socialnet.UserID) float64 {
+func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sharedKeeper, ck *roadnet.Checkpoint) func(socialnet.UserID) float64 {
 	ds := e.DS
 	ballAtts := make([]roadnet.Attach, len(ball))
 	for i, o := range ball {
@@ -403,7 +406,7 @@ func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sha
 		out := make([]float64, len(ballAtts))
 		return func(u socialnet.UserID) float64 {
 			lbl, pooled := e.userLabel(cache, u)
-			ds.Road.LabelDists(lbl, ds.Users[u].At, tl, bound(), out)
+			ds.Road.LabelDistsCk(lbl, ds.Users[u].At, tl, bound(), out, ck)
 			if pooled {
 				roadnet.ReleaseLabel(lbl)
 			}
@@ -424,7 +427,7 @@ func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sha
 			if dv, ok := cache.getArray(u); ok {
 				return mFromVertexDist(e, u, ball, dv)
 			}
-			dists := ds.Road.DistAttachWithin(ds.Users[u].At, b, ballAtts)
+			dists := ds.Road.DistAttachWithinCk(ds.Users[u].At, b, ballAtts, ck)
 			m := 0.0
 			for _, d := range dists {
 				if math.IsInf(d, 1) {
@@ -438,8 +441,10 @@ func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sha
 		}
 		dv, ok := cache.getArray(u)
 		if !ok {
-			dv = e.userVertexDist(u)
-			cache.putArray(u, dv)
+			dv = e.userVertexDist(u, ck)
+			if !ck.Stopped() {
+				cache.putArray(u, dv)
+			}
 		}
 		return mFromVertexDist(e, u, ball, dv)
 	}
@@ -495,7 +500,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	if distCache == nil {
 		distCache = newVertexDistCache()
 	}
-	duqs := e.anchorDists(distCache, uq, tr.candAnchors)
+	duqs := e.anchorDists(distCache, uq, tr.candAnchors, q.ck)
 	type anchorCand struct {
 		id  model.POIID
 		duq float64
@@ -518,7 +523,13 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	var pairs atomic.Int64
 
 	processAnchor := func(ac anchorCand) {
-		ball := e.ballAround(ac.id, p.R)
+		ball := e.ballAround(ac.id, p.R, q.ck)
+		// A trip during ball construction leaves a degenerate ball; cached
+		// exact arrays could still price it finitely, so bail before any
+		// result can be built on the wrong R set.
+		if q.ck.Stopped() {
+			return
+		}
 		kws := NewTopicSet(ds.NumTopics)
 		for _, o := range ball {
 			for _, k := range ds.POIs[o].Keywords {
@@ -531,7 +542,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		// M(u) = max_{o in ball} dist_RN(u, o); the group cost is
 		// max_{u in S} M(u). See makeMOf for the label-kernel and
 		// bound-truncation strategies and their soundness.
-		mOf := e.makeMOf(distCache, ball, keeper)
+		mOf := e.makeMOf(distCache, ball, keeper, q.ck)
 		mUq := mOf(uq)
 		// Strict comparison: a cost exactly equal to the bound may still
 		// tie the k-th best and win the canonical tie-break, so it must
@@ -611,9 +622,9 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		var S []socialnet.UserID
 		var cost float64
 		if e.Opts.SamplingRefine {
-			S, cost = e.sampleGroups(uq, p, users, mv, keeper.Bound(), &pairs)
+			S, cost = e.sampleGroups(uq, p, users, mv, keeper.Bound(), &pairs, q.ck)
 		} else {
-			S, cost = e.enumerateGroups(uq, p, users, mv, keeper.Bound(), &pairs)
+			S, cost = e.enumerateGroups(uq, p, users, mv, keeper.Bound(), &pairs, q.ck)
 		}
 		if S != nil {
 			keeper.add(Result{Found: true, S: S, R: ball, Anchor: ac.id, MaxDist: cost})
@@ -645,6 +656,19 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 				}
 				ac := anchors[i]
 				if math.IsInf(ac.duq, 1) || ac.duq > keeper.Bound() {
+					return
+				}
+				// Per-work-item cancellation/budget check: every worker
+				// stops claiming anchors once the checkpoint trips, so the
+				// whole pool drains within one anchor's work. A budget trip
+				// is already recorded on the checkpoint; the anchor cap is
+				// noted here, and only for an anchor that would otherwise
+				// have been processed (the duq guard above ran first).
+				if q.ck.Stopped() {
+					return
+				}
+				if q.maxAnchors > 0 && i >= q.maxAnchors {
+					q.noteTruncated()
 					return
 				}
 				processAnchor(ac)
@@ -807,8 +831,12 @@ func (e *Engine) corollary2Filter(uq socialnet.UserID, p Params, cand []socialne
 }
 
 // ballAround returns the POIs within road distance radius of the anchor
-// (always including the anchor itself).
-func (e *Engine) ballAround(anchor model.POIID, radius float64) []model.POIID {
+// (always including the anchor itself). With a tripped checkpoint the
+// checked distance batch reports +Inf for everything, so the ball
+// degenerates to {anchor} — harmless, because a cancelled query errors out
+// and a budget-tripped one can no longer admit results (every M(u) on the
+// degenerate ball that involves a road search is +Inf too).
+func (e *Engine) ballAround(anchor model.POIID, radius float64, ck *roadnet.Checkpoint) []model.POIID {
 	ds := e.DS
 	pre := e.Road.EuclidBall(ds.POIs[anchor].Loc, radius)
 	pre = append(pre, e.deltaBallMembers(anchor, radius)...)
@@ -816,7 +844,7 @@ func (e *Engine) ballAround(anchor model.POIID, radius float64) []model.POIID {
 	for i, id := range pre {
 		atts[i] = ds.POIs[id].At
 	}
-	dists := ds.Road.DistAttachWithin(ds.POIs[anchor].At, radius, atts)
+	dists := ds.Road.DistAttachWithinCk(ds.POIs[anchor].At, radius, atts, ck)
 	var ball []model.POIID
 	seenAnchor := false
 	for i, id := range pre {
@@ -840,7 +868,7 @@ func (e *Engine) ballAround(anchor model.POIID, radius float64) []model.POIID {
 // Both paths apply the same-edge direct route, so the value is the true
 // network distance and hence a sound lower bound on any group cost the
 // anchor can produce (the anchor is in its own ball).
-func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchors []model.POIID) []float64 {
+func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchors []model.POIID, ck *roadnet.Checkpoint) []float64 {
 	ds := e.DS
 	atts := make([]roadnet.Attach, len(anchors))
 	for i, a := range anchors {
@@ -849,7 +877,7 @@ func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchor
 	out := make([]float64, len(anchors))
 	if tl := ds.Road.PrepareTargetLabels(atts); tl != nil {
 		lbl, pooled := e.userLabel(cache, uq)
-		ds.Road.LabelDists(lbl, ds.Users[uq].At, tl, math.Inf(1), out)
+		ds.Road.LabelDistsCk(lbl, ds.Users[uq].At, tl, math.Inf(1), out, ck)
 		if pooled {
 			roadnet.ReleaseLabel(lbl)
 		}
@@ -857,7 +885,13 @@ func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchor
 	}
 	uqDist, ok := cache.getArray(uq)
 	if !ok {
-		uqDist = e.userVertexDist(uq)
+		uqDist = e.userVertexDist(uq, ck)
+		if ck.Stopped() {
+			for i := range out {
+				out[i] = math.Inf(1)
+			}
+			return out
+		}
 		cache.putArray(uq, uqDist)
 	}
 	uqAt := ds.Users[uq].At
@@ -875,14 +909,15 @@ func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchor
 }
 
 // userVertexDist returns exact road distances from the user's home to every
-// vertex (one Dijkstra).
-func (e *Engine) userVertexDist(u socialnet.UserID) []float64 {
+// vertex (one Dijkstra). With a tripped checkpoint the result is all-+Inf
+// and must not be cached.
+func (e *Engine) userVertexDist(u socialnet.UserID, ck *roadnet.Checkpoint) []float64 {
 	at := e.DS.Users[u].At
 	edge := e.DS.Road.EdgeAt(at.Edge)
-	return e.DS.Road.DijkstraMulti([]roadnet.Seed{
+	return e.DS.Road.DijkstraMultiCk([]roadnet.Seed{
 		{Vertex: edge.U, Dist: at.T * edge.Weight},
 		{Vertex: edge.V, Dist: (1 - at.T) * edge.Weight},
-	})
+	}, ck)
 }
 
 // attachDistVia evaluates dist_RN from the Dijkstra source to an attachment
@@ -900,7 +935,7 @@ func (e *Engine) attachDistVia(at roadnet.Attach, dist []float64) float64 {
 // anchor's canonical optimum — independent of the bound snapshot the
 // caller passed (as long as it is >= the optimum) and hence of worker
 // timing. The group is returned sorted.
-func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, pairs *atomic.Int64) ([]socialnet.UserID, float64) {
+func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, pairs *atomic.Int64, ck *roadnet.Checkpoint) ([]socialnet.UserID, float64) {
 	ds := e.DS
 	eligible := make(map[socialnet.UserID]bool, len(users)+1)
 	for _, u := range users {
@@ -932,6 +967,13 @@ func (e *Engine) enumerateGroups(uq socialnet.UserID, p Params, users []socialne
 	rec = func(ext []socialnet.UserID, forbidden map[socialnet.UserID]bool) {
 		if e.Opts.RefineBudget > 0 && expansions > e.Opts.RefineBudget {
 			return // budget exhausted: keep the best found so far
+		}
+		// Cancellation poll every 256 expansions: the enumeration is pure
+		// CPU (no road searches), so without this a dense social ball could
+		// delay a cancel by seconds. The partial best is discarded anyway —
+		// a cancelled query returns an error, not a result.
+		if expansions&255 == 0 && ck.Cancelled() {
+			return
 		}
 		expansions++
 		if curMax > bestCost {
@@ -1042,7 +1084,7 @@ func mergeForbidden(a, b map[socialnet.UserID]bool) map[socialnet.UserID]bool {
 // only and ties are tie-broken canonically, so the trial sequence and the
 // returned group do not depend on which worker runs the anchor. The group
 // is returned sorted.
-func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, pairs *atomic.Int64) ([]socialnet.UserID, float64) {
+func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.UserID, mv map[socialnet.UserID]float64, bound float64, pairs *atomic.Int64, ck *roadnet.Checkpoint) ([]socialnet.UserID, float64) {
 	ds := e.DS
 	eligible := make(map[socialnet.UserID]bool, len(users)+1)
 	for _, u := range users {
@@ -1054,6 +1096,9 @@ func (e *Engine) sampleGroups(uq socialnet.UserID, p Params, users []socialnet.U
 	bestCost := bound
 	var bestS []socialnet.UserID
 	for trial := 0; trial < e.Opts.SampleCount; trial++ {
+		if ck.Cancelled() {
+			break
+		}
 		cur := []socialnet.UserID{uq}
 		inCur := map[socialnet.UserID]bool{uq: true}
 		curMax := mv[uq]

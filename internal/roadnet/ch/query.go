@@ -90,7 +90,10 @@ func bump(epoch *uint32, ver []uint32) uint32 {
 // shorter way down to it); the apex of an optimal up-down path always
 // carries its exact distance and therefore is never stalled, which keeps
 // bucket recording and scanning at settled vertices sound.
-func (o *Oracle) upwardSearch(sc *scratch, dist []float64, ver []uint32, epoch *uint32, seeds []roadnet.Seed, bound float64, onSettle func(v int32, d float64)) {
+// ck may be nil; a checked search charges the checkpoint per settled batch
+// and aborts once it trips — callers must then discard the whole result
+// (the roadnet.Graph wrappers substitute +Inf).
+func (o *Oracle) upwardSearch(sc *scratch, dist []float64, ver []uint32, epoch *uint32, seeds []roadnet.Seed, bound float64, ck *roadnet.Checkpoint, onSettle func(v int32, d float64)) {
 	ep := bump(epoch, ver)
 	h := &sc.heap
 	h.reset()
@@ -102,10 +105,19 @@ func (o *Oracle) upwardSearch(sc *scratch, dist []float64, ver []uint32, epoch *
 			h.push(v, s.Dist)
 		}
 	}
+	sinceCheck := 0
 	for h.len() > 0 {
 		v, d := h.pop()
 		if d > dist[v] {
 			continue // stale entry
+		}
+		if ck != nil {
+			if sinceCheck++; sinceCheck >= ckStride {
+				if ck.Spend(sinceCheck) {
+					return
+				}
+				sinceCheck = 0
+			}
 		}
 		stalled := false
 		for i := o.up.off[v]; i < o.up.off[v+1]; i++ {
@@ -129,7 +141,12 @@ func (o *Oracle) upwardSearch(sc *scratch, dist []float64, ver []uint32, epoch *
 			}
 		}
 	}
+	ck.Spend(sinceCheck)
 }
+
+// ckStride is the settled-vertex batch size between checkpoint charges in
+// the upward searches and the PHAST sweep.
+const ckStride = 256
 
 // SeedDistances implements roadnet.DistanceOracle with the bucket-based
 // many-to-many kernel (Knopp et al., "Computing Many-to-Many Shortest Paths
@@ -139,6 +156,18 @@ func (o *Oracle) upwardSearch(sc *scratch, dist []float64, ver []uint32, epoch *
 // buckets at its own settled vertices, and the meeting minimum
 // d_fwd(m) + d_bwd(m) over all m is the exact distance.
 func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64) []float64 {
+	return o.seedDistances(sources, targets, bound, nil)
+}
+
+// SeedDistancesCk implements roadnet.CheckedOracle: the backward and
+// forward upward searches charge settled vertices to ck and abort once it
+// trips, at which point the result is unspecified and the caller must
+// discard it (ck.Stopped()).
+func (o *Oracle) SeedDistancesCk(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64, ck *roadnet.Checkpoint) []float64 {
+	return o.seedDistances(sources, targets, bound, ck)
+}
+
+func (o *Oracle) seedDistances(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64, ck *roadnet.Checkpoint) []float64 {
 	inf := math.Inf(1)
 	res := make([]float64, len(targets))
 	for i := range res {
@@ -175,9 +204,12 @@ func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexI
 	sc.entries = sc.entries[:0]
 	seed := make([]roadnet.Seed, 1)
 	for si, t := range sc.slots {
+		if ck.Stopped() {
+			return res
+		}
 		seed[0] = roadnet.Seed{Vertex: roadnet.VertexID(t)}
 		slot := int32(si)
-		o.upwardSearch(sc, sc.bDist, sc.bVer, &sc.bEpoch, seed, bound, func(v int32, d float64) {
+		o.upwardSearch(sc, sc.bDist, sc.bVer, &sc.bEpoch, seed, bound, ck, func(v int32, d float64) {
 			head := int32(-1)
 			if sc.bktVer[v] == bep {
 				head = sc.bktHead[v]
@@ -189,7 +221,7 @@ func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexI
 	}
 
 	// Forward phase: scan buckets at every settled vertex.
-	o.upwardSearch(sc, sc.dist, sc.ver, &sc.epoch, sources, bound, func(v int32, d float64) {
+	o.upwardSearch(sc, sc.dist, sc.ver, &sc.epoch, sources, bound, ck, func(v int32, d float64) {
 		if sc.bktVer[v] != bep {
 			return
 		}
@@ -217,6 +249,18 @@ func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexI
 // sweep repairs every vertex via its shortest path's apex, whose label is
 // always exact.
 func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
+	return o.oneToAll(sources, nil)
+}
+
+// OneToAllCk implements roadnet.CheckedOracle: both the upward search and
+// the downward sweep charge processed vertices to ck and abort once it
+// trips, at which point the result is unspecified and the caller must
+// discard it (ck.Stopped()).
+func (o *Oracle) OneToAllCk(sources []roadnet.Seed, ck *roadnet.Checkpoint) []float64 {
+	return o.oneToAll(sources, ck)
+}
+
+func (o *Oracle) oneToAll(sources []roadnet.Seed, ck *roadnet.Checkpoint) []float64 {
 	inf := math.Inf(1)
 	res := make([]float64, o.n)
 	for i := range res {
@@ -235,10 +279,20 @@ func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
 			h.push(v, s.Dist)
 		}
 	}
+	sinceCheck := 0
 	for h.len() > 0 {
 		v, d := h.pop()
 		if d > res[v] {
 			continue
+		}
+		if ck != nil {
+			if sinceCheck++; sinceCheck >= ckStride {
+				if ck.Spend(sinceCheck) {
+					o.putScratch(sc)
+					return res
+				}
+				sinceCheck = 0
+			}
 		}
 		stalled := false
 		for i := o.up.off[v]; i < o.up.off[v+1]; i++ {
@@ -258,12 +312,25 @@ func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
 			}
 		}
 	}
+	ck.Spend(sinceCheck)
 	o.putScratch(sc)
+	if ck.Stopped() {
+		return res
+	}
 
 	// Downward sweep in descending rank: when v is processed every
 	// down-edge into it (necessarily from a higher-ranked vertex) has
 	// already been relaxed, so res[v] is final.
+	sinceCheck = 0
 	for _, v := range o.byRankDesc {
+		if ck != nil {
+			if sinceCheck++; sinceCheck >= ckStride {
+				if ck.Spend(sinceCheck) {
+					return res
+				}
+				sinceCheck = 0
+			}
+		}
 		d := res[v]
 		if math.IsInf(d, 1) {
 			continue
@@ -275,7 +342,11 @@ func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
 			}
 		}
 	}
+	ck.Spend(sinceCheck)
 	return res
 }
 
-var _ roadnet.DistanceOracle = (*Oracle)(nil)
+var (
+	_ roadnet.DistanceOracle = (*Oracle)(nil)
+	_ roadnet.CheckedOracle  = (*Oracle)(nil)
+)

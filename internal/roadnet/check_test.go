@@ -1,0 +1,156 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestCheckpointNilSafe pins the nil-receiver fast path every search relies
+// on: a nil *Checkpoint never trips, never aborts, and costs nothing.
+func TestCheckpointNilSafe(t *testing.T) {
+	var ck *Checkpoint
+	if ck.Spend(1000) {
+		t.Error("nil checkpoint Spend reported a trip")
+	}
+	for i := 0; i < 200; i++ {
+		if ck.Cancelled() {
+			t.Fatal("nil checkpoint reported cancelled")
+		}
+	}
+	if ck.Stopped() || ck.Exhausted() {
+		t.Error("nil checkpoint reported stopped/exhausted")
+	}
+	if err := ck.CancelErr(); err != nil {
+		t.Errorf("nil checkpoint CancelErr = %v", err)
+	}
+	if ck.Spent() != 0 {
+		t.Errorf("nil checkpoint Spent = %d", ck.Spent())
+	}
+}
+
+// TestCheckpointBudgetTrip verifies the work-budget ledger: spending past
+// the cap trips the checkpoint into the exhausted state, which stops
+// searches but is not a cancellation (no error, Cancelled stays false).
+func TestCheckpointBudgetTrip(t *testing.T) {
+	ck := NewCheckpoint(nil, nil, 100)
+	if ck.Spend(60) {
+		t.Fatal("tripped under budget")
+	}
+	if ck.Stopped() {
+		t.Fatal("stopped under budget")
+	}
+	if !ck.Spend(60) {
+		t.Fatal("no trip when overspending")
+	}
+	if !ck.Stopped() || !ck.Exhausted() {
+		t.Error("overspent checkpoint must be stopped and exhausted")
+	}
+	if ck.Cancelled() {
+		t.Error("budget exhaustion must not read as cancellation")
+	}
+	if err := ck.CancelErr(); err != nil {
+		t.Errorf("budget exhaustion produced an error: %v", err)
+	}
+	// The ledger keeps counting what was charged.
+	if got := ck.Spent(); got != 120 {
+		t.Errorf("Spent = %d, want 120", got)
+	}
+	// Sticky: further spends keep reporting the trip.
+	if !ck.Spend(1) {
+		t.Error("trip is not sticky")
+	}
+}
+
+// TestCheckpointCancelTrip verifies cancellation via the done channel: the
+// first Spend that observes the closed channel trips the checkpoint, the
+// trip is sticky, and CancelErr surfaces the cause.
+func TestCheckpointCancelTrip(t *testing.T) {
+	done := make(chan struct{})
+	cause := errors.New("test cause")
+	ck := NewCheckpoint(done, func() error { return cause }, 0)
+	if ck.Spend(10) {
+		t.Fatal("tripped before cancellation")
+	}
+	close(done)
+	if !ck.Spend(1) {
+		t.Fatal("Spend did not observe the closed done channel")
+	}
+	if !ck.Stopped() || !ck.Cancelled() {
+		t.Error("cancelled checkpoint must be stopped and cancelled")
+	}
+	if ck.Exhausted() {
+		t.Error("cancellation must not read as budget exhaustion")
+	}
+	if err := ck.CancelErr(); !errors.Is(err, cause) {
+		t.Errorf("CancelErr = %v, want %v", err, cause)
+	}
+}
+
+// TestCheckpointCancelledPolling verifies the tick-strided Cancelled poll
+// used by allocation-free loops: it observes a closed done channel within
+// one polling stride.
+func TestCheckpointCancelledPolling(t *testing.T) {
+	done := make(chan struct{})
+	ck := NewCheckpoint(done, func() error { return errors.New("x") }, 0)
+	close(done)
+	tripped := false
+	for i := 0; i < 128; i++ { // poll stride is 64 ticks
+		if ck.Cancelled() {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("Cancelled never observed the closed done channel within two strides")
+	}
+	// Once tripped, every later call reports it immediately.
+	if !ck.Cancelled() {
+		t.Error("cancelled state is not sticky")
+	}
+}
+
+// TestCheckpointFirstTripWins pins the trip-state discipline: a budget trip
+// recorded first is not overwritten by a later cancellation observation.
+func TestCheckpointFirstTripWins(t *testing.T) {
+	done := make(chan struct{})
+	ck := NewCheckpoint(done, func() error { return errors.New("x") }, 10)
+	if !ck.Spend(20) {
+		t.Fatal("no budget trip")
+	}
+	close(done)
+	for i := 0; i < 128; i++ {
+		ck.Cancelled()
+	}
+	if ck.Cancelled() {
+		t.Error("budget trip was overwritten by a later cancellation")
+	}
+	if !ck.Exhausted() {
+		t.Error("budget trip lost")
+	}
+	if err := ck.CancelErr(); err != nil {
+		t.Errorf("budget-tripped checkpoint returned an error: %v", err)
+	}
+}
+
+// TestDijkstraMultiCkAbort verifies the all-or-nothing abort discipline of
+// the checked searches: a tripped checkpoint yields +Inf for every vertex,
+// never a partial distance array.
+func TestDijkstraMultiCkAbort(t *testing.T) {
+	g := gridGraph(8) // 64 vertices
+	ck := NewCheckpoint(nil, nil, 4)
+	dist := g.DijkstraMultiCk([]Seed{{Vertex: 0, Dist: 0}}, ck)
+	if !ck.Stopped() {
+		t.Fatal("budget of 4 did not stop a 64-vertex sweep")
+	}
+	for v, d := range dist {
+		if !math.IsInf(d, 1) {
+			t.Fatalf("aborted search leaked finite distance %v at vertex %d", d, v)
+		}
+	}
+	// The same search unchecked is exact.
+	full := g.DijkstraMulti([]Seed{{Vertex: 0, Dist: 0}})
+	if math.IsInf(full[63], 1) {
+		t.Fatal("unchecked search did not reach the far end")
+	}
+}

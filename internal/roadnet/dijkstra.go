@@ -75,18 +75,42 @@ func (g *Graph) Dijkstra(src VertexID) []float64 {
 // attached the scan is answered by its one-to-all kernel (a PHAST-style
 // sweep for the CH oracle) instead of a heap-driven search.
 func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
+	return g.DijkstraMultiCk(seeds, nil)
+}
+
+// DijkstraMultiCk is DijkstraMulti with a cooperative checkpoint: the scan
+// reports settled vertices in checkStride batches and aborts once the
+// checkpoint trips. An aborted scan returns all-+Inf — partial distances
+// are discarded wholesale so a caller can never mistake an interrupted
+// search for "those vertices are unreachable/far" on a per-entry basis;
+// every finite distance ever returned is exact. ck may be nil (unchecked).
+func (g *Graph) DijkstraMultiCk(seeds []Seed, ck *Checkpoint) []float64 {
 	for _, s := range seeds {
 		g.checkVertex(s.Vertex)
 		if s.Dist < 0 {
 			panic(fmt.Sprintf("roadnet: negative seed distance %v", s.Dist))
 		}
 	}
-	if g.oracle != nil {
-		return g.oracle.OneToAll(seeds)
-	}
 	dist := make([]float64, len(g.pts))
 	for i := range dist {
 		dist[i] = math.Inf(1)
+	}
+	if ck.Stopped() {
+		return dist
+	}
+	if g.oracle != nil {
+		var res []float64
+		if co, ok := g.oracle.(CheckedOracle); ok && ck != nil {
+			res = co.OneToAllCk(seeds, ck)
+		} else {
+			res = g.oracle.OneToAll(seeds)
+		}
+		if ck.Stopped() {
+			for i := range res {
+				res[i] = math.Inf(1)
+			}
+		}
+		return res
 	}
 	h := acquireHeap()
 	for _, s := range seeds {
@@ -95,10 +119,19 @@ func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
 			h.push(s.Vertex, s.Dist)
 		}
 	}
+	aborted := false
+	sinceCheck := 0
 	for h.len() > 0 {
 		v, d := h.pop()
 		if d > dist[v] {
 			continue // stale entry
+		}
+		if sinceCheck++; sinceCheck >= checkStride {
+			if ck.Spend(sinceCheck) {
+				aborted = true
+				break
+			}
+			sinceCheck = 0
 		}
 		for _, he := range g.adj[v] {
 			nd := d + he.weight
@@ -108,7 +141,15 @@ func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
 			}
 		}
 	}
+	if !aborted {
+		ck.Spend(sinceCheck)
+	}
 	releaseHeap(h)
+	if ck.Stopped() {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+	}
 	return dist
 }
 
@@ -120,7 +161,11 @@ func (g *Graph) DijkstraMulti(seeds []Seed) []float64 {
 // get correct distances, they just stop terminating the scan early.
 // Returns the number of vertices settled, which the early-termination
 // regression test asserts shrinks with the bound.
-func (g *Graph) boundedSearch(sc *searchScratch, seeds []Seed, targets []VertexID, bound float64) int {
+//
+// ck may be nil. When it trips mid-search the scan stops immediately; the
+// caller must treat sc.dist as garbage (check ck.Stopped()) because the
+// frontier beyond the last settled vertex is missing.
+func (g *Graph) boundedSearch(sc *searchScratch, seeds []Seed, targets []VertexID, bound float64, ck *Checkpoint) int {
 	var targetMask uint64 // bit i set ⇒ targets[i] still unsettled
 	tracked := len(targets)
 	if tracked > 64 {
@@ -137,6 +182,7 @@ func (g *Graph) boundedSearch(sc *searchScratch, seeds []Seed, targets []VertexI
 		}
 	}
 	settled := 0
+	sinceCheck := 0
 	for h.len() > 0 {
 		v, d := h.pop()
 		if d > sc.dist[v] {
@@ -146,6 +192,12 @@ func (g *Graph) boundedSearch(sc *searchScratch, seeds []Seed, targets []VertexI
 			break
 		}
 		settled++
+		if sinceCheck++; sinceCheck >= checkStride {
+			if ck.Spend(sinceCheck) {
+				return settled
+			}
+			sinceCheck = 0
+		}
 		if targetMask != 0 {
 			for i := 0; i < tracked; i++ {
 				if targets[i] == v {
@@ -164,6 +216,7 @@ func (g *Graph) boundedSearch(sc *searchScratch, seeds []Seed, targets []VertexI
 			}
 		}
 	}
+	ck.Spend(sinceCheck)
 	return settled
 }
 
@@ -188,7 +241,7 @@ func (g *Graph) DistAttach(a, b Attach) float64 {
 		du, dv = d[0], d[1]
 	} else {
 		sc := acquireScratch(len(g.pts))
-		g.boundedSearch(sc, seeds, targets, best)
+		g.boundedSearch(sc, seeds, targets, best, nil)
 		du, dv = sc.dist[bu], sc.dist[bv]
 		sc.release()
 	}
@@ -206,7 +259,14 @@ func (g *Graph) DistAttach(a, b Attach) float64 {
 // With an oracle attached the search is the many-to-many bucket kernel over
 // just the attachment endpoints instead of a full one-to-all scan.
 func (g *Graph) DistAttachMany(a Attach, bs []Attach) []float64 {
-	return g.distAttachBatch(a, math.Inf(1), bs)
+	return g.distAttachBatch(a, math.Inf(1), bs, nil)
+}
+
+// DistAttachManyCk is DistAttachMany with a cooperative checkpoint; once it
+// trips, every candidate distance is reported as +Inf (no partial values).
+// ck may be nil.
+func (g *Graph) DistAttachManyCk(a Attach, bs []Attach, ck *Checkpoint) []float64 {
+	return g.distAttachBatch(a, math.Inf(1), bs, ck)
 }
 
 // DistAttachWithin returns dist_RN(a, c) for each candidate c, reported
@@ -216,16 +276,31 @@ func (g *Graph) DistAttachMany(a Attach, bs []Attach) []float64 {
 // uses it to materialize the POI balls ⊙(o_i, r_min), and the query
 // refinement uses it to materialize answer balls ⊙(o_i, r).
 func (g *Graph) DistAttachWithin(a Attach, bound float64, cands []Attach) []float64 {
-	return g.distAttachBatch(a, bound, cands)
+	return g.distAttachBatch(a, bound, cands, nil)
+}
+
+// DistAttachWithinCk is DistAttachWithin with a cooperative checkpoint;
+// once it trips, every candidate distance is reported as +Inf (no partial
+// values). ck may be nil.
+func (g *Graph) DistAttachWithinCk(a Attach, bound float64, cands []Attach, ck *Checkpoint) []float64 {
+	return g.distAttachBatch(a, bound, cands, ck)
 }
 
 // distAttachBatch is the shared implementation of DistAttachMany
 // (bound = +Inf) and DistAttachWithin (finite bound): distances from a to
-// each candidate, with values beyond the bound clamped to +Inf.
-func (g *Graph) distAttachBatch(a Attach, bound float64, cands []Attach) []float64 {
+// each candidate, with values beyond the bound clamped to +Inf. An aborted
+// (checkpoint-tripped) batch reports every candidate as +Inf so no caller
+// ever consumes a distance from an interrupted search.
+func (g *Graph) distAttachBatch(a Attach, bound float64, cands []Attach, ck *Checkpoint) []float64 {
+	out := make([]float64, len(cands))
+	if ck.Stopped() {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
 	au, av, dau, dav := g.attachEnds(a)
 	seeds := []Seed{{au, dau}, {av, dav}}
-	out := make([]float64, len(cands))
 
 	if g.oracle != nil {
 		// Query only the candidates' edge endpoints, deduplicated, through
@@ -235,7 +310,18 @@ func (g *Graph) distAttachBatch(a Attach, bound float64, cands []Attach) []float
 			cu, cv, _, _ := g.attachEnds(c)
 			targets = append(targets, cu, cv)
 		}
-		vd := g.oracle.SeedDistances(seeds, targets, bound)
+		var vd []float64
+		if co, ok := g.oracle.(CheckedOracle); ok && ck != nil {
+			vd = co.SeedDistancesCk(seeds, targets, bound, ck)
+		} else {
+			vd = g.oracle.SeedDistances(seeds, targets, bound)
+		}
+		if ck.Stopped() {
+			for i := range out {
+				out[i] = math.Inf(1)
+			}
+			return out
+		}
 		for i, c := range cands {
 			_, _, dcu, dcv := g.attachEnds(c)
 			d := math.Min(vd[2*i]+dcu, vd[2*i+1]+dcv)
@@ -245,7 +331,14 @@ func (g *Graph) distAttachBatch(a Attach, bound float64, cands []Attach) []float
 	}
 
 	sc := acquireScratch(len(g.pts))
-	g.boundedSearch(sc, seeds, nil, bound)
+	g.boundedSearch(sc, seeds, nil, bound, ck)
+	if ck.Stopped() {
+		sc.release()
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
 	for i, c := range cands {
 		out[i] = g.finishAttachDist(a, c, g.DistToVertexVia(c, sc.dist), bound)
 	}

@@ -271,6 +271,18 @@ func mergeDist(aH []int32, aD []float64, bH []int32, bD []float64) float64 {
 // then one two-pointer merge per target. Distances beyond bound are
 // reported as +Inf; distances exactly at the bound stay exact.
 func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64) []float64 {
+	return o.seedDistances(sources, targets, bound, nil)
+}
+
+// SeedDistancesCk implements roadnet.CheckedOracle: merged label entries
+// are charged to ck in batches and the per-target merge loop stops once it
+// trips, at which point the result is unspecified and the caller must
+// discard it (ck.Stopped()).
+func (o *Oracle) SeedDistancesCk(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64, ck *roadnet.Checkpoint) []float64 {
+	return o.seedDistances(sources, targets, bound, ck)
+}
+
+func (o *Oracle) seedDistances(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64, ck *roadnet.Checkpoint) []float64 {
 	inf := math.Inf(1)
 	res := make([]float64, len(targets))
 	for i := range res {
@@ -281,12 +293,22 @@ func (o *Oracle) SeedDistances(sources []roadnet.Seed, targets []roadnet.VertexI
 	}
 	sc := o.getScratch()
 	o.seedLabelInto(sources, &sc.src, &sc.tmp)
+	spent := 0
 	for i, t := range targets {
 		tH, tD := o.label(int32(t))
+		if ck != nil {
+			if spent += len(tH) + len(sc.src.Hubs); spent >= 1024 {
+				if ck.Spend(spent) {
+					break
+				}
+				spent = 0
+			}
+		}
 		if d := mergeDist(sc.src.Hubs, sc.src.Dist, tH, tD); d <= bound {
 			res[i] = d
 		}
 	}
+	ck.Spend(spent)
 	o.putScratch(sc)
 	return res
 }
@@ -298,4 +320,13 @@ func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
 	return o.cho.OneToAll(sources)
 }
 
-var _ roadnet.LabelOracle = (*Oracle)(nil)
+// OneToAllCk implements roadnet.CheckedOracle by delegating to the CH's
+// checked PHAST sweep.
+func (o *Oracle) OneToAllCk(sources []roadnet.Seed, ck *roadnet.Checkpoint) []float64 {
+	return o.cho.OneToAllCk(sources, ck)
+}
+
+var (
+	_ roadnet.LabelOracle   = (*Oracle)(nil)
+	_ roadnet.CheckedOracle = (*Oracle)(nil)
+)

@@ -154,9 +154,21 @@ func (s *targetLabelSort) Swap(i, j int) {
 // out must have length tl.NumTargets(); it is returned filled. Allocation-
 // free, safe for concurrent use (all shared state is read-only).
 func (g *Graph) LabelDists(src *HubLabel, srcAt Attach, tl *TargetLabels, bound float64, out []float64) []float64 {
+	return g.LabelDistsCk(src, srcAt, tl, bound, out, nil)
+}
+
+// LabelDistsCk is LabelDists with a cooperative checkpoint. The merge work
+// (source-label entries + flattened target entries walked) is charged up
+// front — one Spend call per kernel invocation, keeping the merge loop
+// itself branch-free — and a tripped checkpoint yields all-+Inf, never a
+// partial merge. ck may be nil.
+func (g *Graph) LabelDistsCk(src *HubLabel, srcAt Attach, tl *TargetLabels, bound float64, out []float64, ck *Checkpoint) []float64 {
 	inf := math.Inf(1)
 	for i := range out {
 		out[i] = inf
+	}
+	if ck != nil && ck.Spend(len(src.Hubs)+len(tl.hubs)) {
+		return out
 	}
 	i, j := 0, 0
 	for i < len(src.Hubs) && j < len(tl.hubs) {

@@ -26,6 +26,21 @@ type DistanceOracle interface {
 	OneToAll(sources []Seed) []float64
 }
 
+// CheckedOracle is the optional extension a DistanceOracle implements to
+// participate in cooperative cancellation and work budgeting. The Ck
+// variants mirror the base methods but report consumed work (settled
+// vertices / merged label entries) to the checkpoint and abort once it
+// trips. Results of an aborted call are unspecified — callers must test
+// ck.Stopped() and discard them wholesale (the Graph wrappers do this and
+// substitute +Inf), so an oracle may return partially-filled slices.
+// ck is never nil here: the Graph only takes this path with a live
+// checkpoint and otherwise calls the unchecked methods.
+type CheckedOracle interface {
+	DistanceOracle
+	SeedDistancesCk(sources []Seed, targets []VertexID, bound float64, ck *Checkpoint) []float64
+	OneToAllCk(sources []Seed, ck *Checkpoint) []float64
+}
+
 // SetDistanceOracle attaches (or, with nil, detaches) a distance oracle.
 // The oracle must answer for this graph's current topology; it is detached
 // automatically if the graph mutates afterwards. Attach before building

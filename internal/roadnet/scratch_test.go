@@ -13,14 +13,14 @@ func TestBoundedSearchSettlesFewer(t *testing.T) {
 	seeds := []Seed{{Vertex: 0, Dist: 0}}
 
 	sc := acquireScratch(g.NumVertices())
-	all := g.boundedSearch(sc, seeds, nil, math.Inf(1))
+	all := g.boundedSearch(sc, seeds, nil, math.Inf(1), nil)
 	sc.release()
 	if all != g.NumVertices() {
 		t.Fatalf("unbounded search settled %d of %d vertices", all, g.NumVertices())
 	}
 
 	sc = acquireScratch(g.NumVertices())
-	tight := g.boundedSearch(sc, seeds, nil, 3)
+	tight := g.boundedSearch(sc, seeds, nil, 3, nil)
 	// Manhattan ball of radius 3 from the corner of a unit grid: vertices
 	// with x+y <= 3, i.e. 10 of them.
 	if tight != 10 {
@@ -46,7 +46,7 @@ func TestBoundedSearchTargetsStop(t *testing.T) {
 	targets := []VertexID{1, 12} // the two neighbours of the corner
 
 	sc := acquireScratch(g.NumVertices())
-	settled := g.boundedSearch(sc, seeds, targets, math.Inf(1))
+	settled := g.boundedSearch(sc, seeds, targets, math.Inf(1), nil)
 	sc.release()
 	if settled >= g.NumVertices()/2 {
 		t.Fatalf("target search settled %d vertices, expected early stop", settled)
@@ -64,7 +64,7 @@ func TestScratchReuseIsClean(t *testing.T) {
 				t.Fatalf("iteration %d: pooled dist[%d] = %v, want +Inf", i, v, d)
 			}
 		}
-		g.boundedSearch(sc, []Seed{{Vertex: VertexID(i), Dist: 0}}, nil, float64(i))
+		g.boundedSearch(sc, []Seed{{Vertex: VertexID(i), Dist: 0}}, nil, float64(i), nil)
 		sc.release()
 	}
 }
