@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench-parallel bench-smoke
+.PHONY: check vet lint build test race fuzz-smoke snapshot-matrix bench-parallel bench-smoke
 
 check: vet lint build test race
 
@@ -28,6 +28,19 @@ test:
 
 race:
 	$(GO) test -race -short -timeout 10m ./...
+
+# Short native-fuzz runs over the hostile-input surfaces (CSV import and
+# snapshot decode). ~30s each; CI runs this on every push, and longer
+# local runs just raise FUZZTIME. See docs/ROBUSTNESS.md §5.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzImportCSV$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) .
+
+# The snapshot round-trip and corruption/torn-write matrix on its own —
+# the recovery gates the robustness PR promises (docs/ROBUSTNESS.md §4).
+snapshot-matrix:
+	$(GO) test -run 'TestSnapshot|TestOpenSnapshot' -count=1 -v .
 
 # The parallel-refinement speedup table (recorded in EXPERIMENTS.md).
 bench-parallel:

@@ -5,6 +5,11 @@
 //
 //	gpssn-query -data uni.gpssn -user 42 -tau 5 -gamma 0.5 -theta 0.5 -r 2
 //	gpssn-query -data uni.gpssn -user 42 -k 3
+//	gpssn-query -data uni.gpssn -save-snapshot uni.snap -user 42
+//	gpssn-query -snapshot uni.snap -user 42
+//
+// -save-snapshot persists the opened DB (dataset plus built distance
+// oracles) so later runs with -snapshot skip the index build.
 package main
 
 import (
@@ -19,7 +24,9 @@ import (
 
 func main() {
 	var (
-		data    = flag.String("data", "", "dataset file from gpssn-gen (required)")
+		data    = flag.String("data", "", "dataset file from gpssn-gen (this or -snapshot is required)")
+		snapIn  = flag.String("snapshot", "", "open a DB snapshot written by -save-snapshot instead of -data")
+		snapOut = flag.String("save-snapshot", "", "after opening, persist the DB (dataset + oracles) here")
 		user    = flag.Int("user", 0, "query issuer user id")
 		tau     = flag.Int("tau", 5, "group size including the issuer")
 		gamma   = flag.Float64("gamma", 0.5, "pairwise interest threshold")
@@ -30,31 +37,58 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	)
 	flag.Parse()
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "gpssn-query: -data is required")
+	if (*data == "") == (*snapIn == "") {
+		fmt.Fprintln(os.Stderr, "gpssn-query: exactly one of -data and -snapshot is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*data)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
-		os.Exit(1)
+	cfg := gpssn.DefaultConfig()
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gpssn-query: "+format+"\n", args...)
 	}
-	net, err := gpssn.Load(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
-		os.Exit(1)
+	var db *gpssn.DB
+	if *snapIn != "" {
+		var err error
+		db, err = gpssn.OpenSnapshot(*snapIn, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+			if errors.Is(err, gpssn.ErrSnapshotCorrupt) {
+				fmt.Fprintln(os.Stderr, "gpssn-query: the snapshot is damaged; regenerate it with -data ... -save-snapshot")
+			}
+			os.Exit(1)
+		}
+	} else {
+		f, err := os.Open(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+			os.Exit(1)
+		}
+		net, err := gpssn.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+			os.Exit(1)
+		}
+		db, err = gpssn.Open(net, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Println(net.Stats())
-
-	db, err := gpssn.Open(net, gpssn.DefaultConfig())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpssn-query:", err)
-		os.Exit(1)
-	}
+	fmt.Println(db.Network().Stats())
 	fmt.Printf("indexes built in %s\n", db.BuildTime)
+	if h := db.Health(); h.Degraded {
+		fmt.Fprintf(os.Stderr, "gpssn-query: degraded: serving with %q oracle (requested %q)\n",
+			h.OracleActive, h.OracleRequested)
+	}
+	if *snapOut != "" {
+		if err := db.Snapshot(*snapOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gpssn-query:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot saved to %s\n", *snapOut)
+	}
 	if *trace {
 		db.Engine().Opts.Trace = os.Stderr
 	}

@@ -2,11 +2,25 @@ package gpssn
 
 import (
 	"fmt"
+	"math"
 
 	"gpssn/internal/geo"
 	"gpssn/internal/model"
 	"gpssn/internal/socialnet"
 )
+
+// finite reports whether every coordinate is an ordinary float within
+// model.MaxCoord: NaN, ±Inf, and over-magnitude coordinates would silently
+// corrupt the snapping search and every downstream distance, so the facade
+// rejects them up front.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if !model.CoordOK(v) {
+			return false
+		}
+	}
+	return true
+}
 
 // Dynamic updates. A DB accepts new POIs, users, and friendships after
 // Open: additions live in a small delta that queries scan exactly (the
@@ -25,6 +39,17 @@ import (
 func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if !finite(x, y) {
+		return 0, invalidf("POI coordinates (%v, %v) must be finite", x, y)
+	}
+	if len(keywords) == 0 {
+		return 0, invalidf("POI needs at least one keyword")
+	}
+	for _, k := range keywords {
+		if k < 0 || k >= db.net.ds.NumTopics {
+			return 0, invalidf("POI keyword %d outside vocabulary [0,%d)", k, db.net.ds.NumTopics)
+		}
+	}
 	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
 	if !ok {
 		return 0, fmt.Errorf("gpssn: no road to snap the POI onto")
@@ -50,6 +75,14 @@ func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
 func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if !finite(x, y) {
+		return 0, invalidf("user coordinates (%v, %v) must be finite", x, y)
+	}
+	for f, p := range interests {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return 0, invalidf("user interest %d = %v outside [0,1]", f, p)
+		}
+	}
 	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
 	if !ok {
 		return 0, fmt.Errorf("gpssn: no road to snap the user onto")
@@ -100,6 +133,7 @@ func (db *DB) Compact() error {
 		return fmt.Errorf("gpssn: compaction failed: %w", err)
 	}
 	db.engine = fresh.engine
+	db.health = fresh.health
 	db.BuildTime = fresh.BuildTime
 	db.cache.invalidate()
 	return nil

@@ -1,0 +1,81 @@
+package gpssn
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"gpssn/internal/core"
+)
+
+// Typed error taxonomy. Every error a DB returns matches exactly one of
+// the sentinels below via errors.Is, so callers can branch on failure
+// class without string matching; see the error-contract table in
+// README.md and docs/ROBUSTNESS.md.
+
+// ErrInvalidInput is matched (errors.Is) by every error the facade
+// returns for malformed caller input: NaN/Inf coordinates or interests,
+// out-of-range keyword and user ids, non-positive group sizes or radii.
+// Invalid input is always rejected before any state changes.
+var ErrInvalidInput = errors.New("gpssn: invalid input")
+
+// ErrSnapshotCorrupt is matched (errors.Is) by the error OpenSnapshot
+// returns when a snapshot file is damaged beyond recovery: bad magic,
+// version skew, or a torn/corrupt dataset section. Damage confined to the
+// derived oracle sections is not an error — those are rebuilt from the
+// dataset and reported through Health().
+var ErrSnapshotCorrupt = errors.New("gpssn: snapshot corrupt")
+
+// ErrInternal is matched (errors.Is) by the error a query returns when an
+// internal invariant was violated (a bug in this library, never the
+// caller's fault). The query fails instead of crashing the process; the
+// concrete error is an *InternalError carrying the query context and the
+// stack of the original panic.
+var ErrInternal = errors.New("gpssn: internal error")
+
+// invalidf builds an ErrInvalidInput-matching error.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInvalidInput}, args...)...)
+}
+
+// InternalError is the concrete error behind ErrInternal: a recovered
+// internal panic converted into a value at the DB boundary, carrying
+// enough context to reproduce the failing query.
+type InternalError struct {
+	// Op is the facade entry point that failed ("Query", "QueryTopK").
+	Op string
+	// User is the query issuer.
+	User int
+	// Q is the query being answered when the invariant broke.
+	Q Query
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the goroutine stack captured where the panic was recovered.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("gpssn: internal error in %s(user=%d, %+v): %v", e.Op, e.User, e.Q, e.Panic)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) match.
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// guard is the panic-recovery boundary deferred by every query entry
+// point: an internal invariant panic — whether raised on the calling
+// goroutine or captured from a refinement worker (core.PanicError) —
+// becomes a typed *InternalError on the named return instead of crashing
+// the caller's process. Input-validation panics never reach here; invalid
+// input is rejected with ErrInvalidInput before the engine runs.
+func (db *DB) guard(op string, user int, q Query, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ie := &InternalError{Op: op, User: user, Q: q, Panic: r, Stack: debug.Stack()}
+	if pe, ok := r.(*core.PanicError); ok {
+		ie.Panic = pe.Val
+		ie.Stack = pe.Stack
+	}
+	*err = ie
+}

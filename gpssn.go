@@ -34,12 +34,16 @@ package gpssn
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"gpssn/internal/core"
+	"gpssn/internal/failpoint"
 	"gpssn/internal/index"
+	"gpssn/internal/model"
 	"gpssn/internal/pivot"
+	"gpssn/internal/roadnet"
 	"gpssn/internal/roadnet/ch"
 	"gpssn/internal/roadnet/hl"
 	"gpssn/internal/socialnet"
@@ -110,7 +114,28 @@ type Config struct {
 	// plain heap searches. All three are exact and return identical
 	// answers; see docs/ALGORITHMS.md. Surfaced as the ablation-choracle
 	// and hublabel experiments.
+	//
+	// All three backends return identical answers, so a failure to build
+	// the requested one is not fatal: Open falls back down the chain
+	// hl → ch → dijkstra (plain Dijkstra always works — it needs no
+	// preprocessing) and records the degradation in Health(). Set
+	// StrictOracle to turn a fallback into an Open error instead.
 	DistanceOracle string
+	// StrictOracle makes Open/OpenSnapshot fail when the requested
+	// DistanceOracle cannot be built, instead of serving degraded through
+	// the fallback chain.
+	StrictOracle bool
+	// Logf, when set, receives diagnostic log lines (oracle fallbacks,
+	// snapshot-recovery notes). nil discards them; the same information is
+	// always available from Health().
+	Logf func(format string, args ...any)
+}
+
+// logf forwards to the configured sink, if any.
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
 }
 
 // DefaultConfig returns the paper's default index configuration.
@@ -253,10 +278,104 @@ type DB struct {
 	engine *core.Engine
 	cfg    Config
 	cache  *answerCache
+	health Health
 
 	// BuildTime is how long index construction took. It is written by Open
 	// and Compact; read it only when no Compact can be running.
 	BuildTime time.Duration
+}
+
+// Health reports whether the DB is serving in a degraded mode. Degraded
+// never means wrong: every distance backend is exact, so a fallback
+// changes cost, not answers. Snapshot-recovery notes (sections rebuilt
+// after detected damage) land here too.
+type Health struct {
+	// OracleRequested is the Config.DistanceOracle the DB was opened with.
+	OracleRequested string
+	// OracleActive is the backend actually serving ("hl", "ch" or
+	// "dijkstra").
+	OracleActive string
+	// Degraded is set when OracleActive is a fallback below
+	// OracleRequested in the chain hl → ch → dijkstra.
+	Degraded bool
+	// Notes records, in order, every fallback and recovery event since the
+	// DB was opened (oracle build failures, snapshot sections rebuilt).
+	Notes []string
+}
+
+// Health returns the DB's current degraded-mode status. Safe for
+// concurrent use.
+func (db *DB) Health() Health {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := db.health
+	h.Notes = append([]string(nil), db.health.Notes...)
+	return h
+}
+
+// oracleChain returns the fallback order for a requested backend, or nil
+// for an unknown one. Plain Dijkstra terminates every chain: it needs no
+// preprocessing, so it cannot fail to build.
+func oracleChain(kind string) []string {
+	switch kind {
+	case "hl":
+		return []string{"hl", "ch", "dijkstra"}
+	case "ch":
+		return []string{"ch", "dijkstra"}
+	case "dijkstra":
+		return []string{"dijkstra"}
+	}
+	return nil
+}
+
+// buildOracle builds one oracle backend, converting a build panic — or an
+// armed failpoint at "oracle.build.<kind>" — into an error the fallback
+// chain can absorb. A nil oracle with nil error means plain Dijkstra.
+func buildOracle(g *roadnet.Graph, kind string) (o roadnet.DistanceOracle, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			o, err = nil, fmt.Errorf("build panicked: %v", r)
+		}
+	}()
+	if err := failpoint.Error("oracle.build." + kind); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "hl":
+		return hl.Build(g), nil
+	case "ch":
+		return ch.Build(g), nil
+	}
+	return nil, nil
+}
+
+// attachOracle walks the fallback chain for the configured backend and
+// attaches the first oracle that builds, reporting what happened through
+// the returned Health. With Config.StrictOracle a build failure becomes
+// an error instead of a fallback.
+func attachOracle(ds *model.Dataset, c Config) (Health, error) {
+	h := Health{OracleRequested: c.DistanceOracle}
+	chain := oracleChain(c.DistanceOracle)
+	if chain == nil {
+		return h, fmt.Errorf("gpssn: unknown DistanceOracle %q (want \"ch\", \"hl\" or \"dijkstra\")", c.DistanceOracle)
+	}
+	for _, kind := range chain {
+		o, err := buildOracle(ds.Road, kind)
+		if err != nil {
+			if c.StrictOracle {
+				return h, fmt.Errorf("gpssn: building %s oracle: %w", kind, err)
+			}
+			note := fmt.Sprintf("%s oracle build failed (%v); falling back", kind, err)
+			h.Degraded = true
+			h.Notes = append(h.Notes, note)
+			c.logf("gpssn: %s", note)
+			continue
+		}
+		ds.Road.SetDistanceOracle(o)
+		h.OracleActive = kind
+		return h, nil
+	}
+	return h, fmt.Errorf("gpssn: no distance oracle could be built")
 }
 
 // Open builds the I_R and I_S indexes over the network and returns a
@@ -268,19 +387,28 @@ func Open(net *Network, cfg Config) (*DB, error) {
 	c := cfg.withDefaults()
 	start := time.Now()
 
-	ds := net.ds
 	// Attach the distance oracle before anything touches road distances so
-	// pivot selection and pivot-table construction run through it too.
-	switch c.DistanceOracle {
-	case "ch":
-		ds.Road.SetDistanceOracle(ch.Build(ds.Road))
-	case "hl":
-		ds.Road.SetDistanceOracle(hl.Build(ds.Road))
-	case "dijkstra":
-		ds.Road.SetDistanceOracle(nil)
-	default:
-		return nil, fmt.Errorf("gpssn: unknown DistanceOracle %q (want \"ch\", \"hl\" or \"dijkstra\")", c.DistanceOracle)
+	// pivot selection and pivot-table construction run through it too. A
+	// backend that fails to build degrades down the chain (see Health)
+	// rather than failing the open, unless StrictOracle is set.
+	health, err := attachOracle(net.ds, c)
+	if err != nil {
+		return nil, err
 	}
+	db, err := buildDB(net, c)
+	if err != nil {
+		return nil, err
+	}
+	db.health = health
+	db.BuildTime = time.Since(start)
+	return db, nil
+}
+
+// buildDB builds the indexes and engine over a network whose distance
+// oracle is already attached (by attachOracle or snapshot restore). The
+// caller fills in health and BuildTime.
+func buildDB(net *Network, c Config) (*DB, error) {
+	ds := net.ds
 	roadPivots := pivot.RandomRoad(ds.Road, c.RoadPivots, c.Seed+1)
 	socialPivots := pivot.RandomSocial(ds.Social, c.SocialPivots, c.Seed+2)
 	if c.CostModelPivots {
@@ -310,8 +438,7 @@ func Open(net *Network, cfg Config) (*DB, error) {
 	})
 	return &DB{
 		net: net, engine: engine, cfg: c,
-		cache:     newAnswerCache(c.CacheSize),
-		BuildTime: time.Since(start),
+		cache: newAnswerCache(c.CacheSize),
 	}, nil
 }
 
@@ -319,6 +446,33 @@ func Open(net *Network, cfg Config) (*DB, error) {
 // concurrently with queries; coordinate externally before mixing them with
 // dynamic updates (updates grow the user and POI sets the accessors read).
 func (db *DB) Network() *Network { return db.net }
+
+// validate rejects malformed query input with an ErrInvalidInput-matching
+// error before any engine state is touched. NaN thresholds are rejected
+// here explicitly: NaN slips through ordinary `< 0` comparisons and would
+// otherwise poison every pruning bound downstream. Bounds that depend on
+// the built index (r within [RMin, RMax]) remain the engine's job.
+func (q Query) validate(user, numUsers int) error {
+	if user < 0 || user >= numUsers {
+		return invalidf("user %d out of range [0,%d)", user, numUsers)
+	}
+	if q.GroupSize < 1 {
+		return invalidf("group size τ=%d must be >= 1", q.GroupSize)
+	}
+	if math.IsNaN(q.Radius) || q.Radius <= 0 {
+		return invalidf("radius r=%v must be positive", q.Radius)
+	}
+	if math.IsNaN(q.Gamma) || q.Gamma < 0 {
+		return invalidf("gamma %v must be a non-negative number", q.Gamma)
+	}
+	if math.IsNaN(q.Theta) || q.Theta < 0 {
+		return invalidf("theta %v must be a non-negative number", q.Theta)
+	}
+	if q.Budget.MaxSettledVertices < 0 || q.Budget.MaxRefinedAnchors < 0 {
+		return invalidf("budget caps must be non-negative")
+	}
+	return nil
+}
 
 // params maps a facade query onto the engine's parameter struct.
 func (q Query) params() core.Params {
@@ -377,7 +531,11 @@ func (db *DB) Query(user int, q Query) (*Answer, *Stats, error) {
 // errors.Is, with the partial Stats gathered so far. Cancelled and
 // budget-truncated outcomes are never written to the answer cache, so a
 // cancelled query cannot poison later ones.
-func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (*Answer, *Stats, error) {
+func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (ans *Answer, st *Stats, err error) {
+	// The recovery boundary: an internal invariant panic anywhere below —
+	// including one captured from a refinement worker goroutine — becomes
+	// a typed *InternalError instead of crashing the caller's process.
+	defer db.guard("Query", user, q, &err)
 	// Check before taking the read lock: Compact can hold the write lock
 	// for seconds, and an already-dead context must fail in microseconds.
 	if err := core.ContextError(ctx); err != nil {
@@ -385,8 +543,8 @@ func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (*Answer, *Stats,
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if user < 0 || user >= len(db.net.ds.Users) {
-		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
+	if err := q.validate(user, len(db.net.ds.Users)); err != nil {
+		return nil, nil, err
 	}
 	key := cacheKey{user: user, q: q, k: 1}
 	if answers, stats, found, ok := db.cache.get(key); ok {
@@ -397,7 +555,7 @@ func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (*Answer, *Stats,
 		return &answers[0], &stats, nil
 	}
 	res, raw, err := db.engine.QueryCtx(ctx, socialnet.UserID(user), q.params())
-	st := statsFrom(raw)
+	st = statsFrom(raw)
 	if err != nil {
 		return nil, st, err
 	}
@@ -407,11 +565,11 @@ func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (*Answer, *Stats,
 		}
 		return nil, st, fmt.Errorf("user %d: %w", user, ErrNoAnswer)
 	}
-	ans := answerFrom(res, raw.Truncated)
+	a := answerFrom(res, raw.Truncated)
 	if !raw.Truncated {
-		db.cache.put(key, []Answer{ans}, *st, true)
+		db.cache.put(key, []Answer{a}, *st, true)
 	}
-	return &ans, st, nil
+	return &a, st, nil
 }
 
 // QueryTopK returns up to k answers with distinct anchor POIs, cheapest
@@ -425,14 +583,15 @@ func (db *DB) QueryTopK(user int, q Query, k int) ([]Answer, *Stats, error) {
 
 // QueryTopKCtx is QueryTopK with cooperative cancellation, under the same
 // contract as QueryCtx.
-func (db *DB) QueryTopKCtx(ctx context.Context, user int, q Query, k int) ([]Answer, *Stats, error) {
+func (db *DB) QueryTopKCtx(ctx context.Context, user int, q Query, k int) (answers []Answer, st *Stats, err error) {
+	defer db.guard("QueryTopK", user, q, &err)
 	if err := core.ContextError(ctx); err != nil {
 		return nil, &Stats{}, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if user < 0 || user >= len(db.net.ds.Users) {
-		return nil, nil, fmt.Errorf("gpssn: user %d out of range [0,%d)", user, len(db.net.ds.Users))
+	if err := q.validate(user, len(db.net.ds.Users)); err != nil {
+		return nil, nil, err
 	}
 	key := cacheKey{user: user, q: q, k: k}
 	if answers, stats, found, ok := db.cache.get(key); ok {
@@ -443,11 +602,11 @@ func (db *DB) QueryTopKCtx(ctx context.Context, user int, q Query, k int) ([]Ans
 		return answers, &stats, nil
 	}
 	results, raw, err := db.engine.QueryTopKCtx(ctx, socialnet.UserID(user), q.params(), k)
-	st := statsFrom(raw)
+	st = statsFrom(raw)
 	if err != nil {
 		return nil, st, err
 	}
-	answers := make([]Answer, 0, len(results))
+	answers = make([]Answer, 0, len(results))
 	for _, res := range results {
 		answers = append(answers, answerFrom(res, raw.Truncated))
 	}

@@ -11,9 +11,11 @@ import (
 // files):
 //
 //   - RoadVertices: "id,x,y" with ids 0..N-1.
-//   - RoadEdges: "u,v" undirected road segments (duplicates ignored).
+//   - RoadEdges: "u,v" undirected road segments. Duplicate edges,
+//     self-loops, and endpoints outside the vertex range are rejected
+//     with row-numbered errors.
 //   - SocialEdges: "u,v" undirected friendships (optional; nil means no
-//     friendships).
+//     friendships), under the same duplicate/self-loop/range checks.
 //   - Users: "id,x,y,p0,...,p_{d-1}" — home coordinates (snapped onto the
 //     nearest road segment) and the interest vector; d is inferred from
 //     the first row.

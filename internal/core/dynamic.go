@@ -72,7 +72,9 @@ func (e *Engine) AddUser(u model.User) error {
 		return fmt.Errorf("core: interest vector length %d, want %d", len(u.Interests), e.DS.NumTopics)
 	}
 	for _, p := range u.Interests {
-		if p < 0 || p > 1 {
+		// The negated form also rejects NaN, which would otherwise slip
+		// through both comparisons and poison interest-score pruning.
+		if !(p >= 0 && p <= 1) {
 			return fmt.Errorf("core: interest %v outside [0,1]", p)
 		}
 	}

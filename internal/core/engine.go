@@ -172,6 +172,11 @@ type qctx struct {
 	ck         *roadnet.Checkpoint
 	maxAnchors int
 	truncated  atomic.Bool
+
+	// panicked holds the first panic captured on a refinement worker
+	// goroutine (see panic.go); the pool re-raises it on the calling
+	// goroutine once it drains.
+	panicked atomic.Pointer[PanicError]
 }
 
 // newQctx allocates a query context with fresh cold-cache trackers (the

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic captured on a refinement worker goroutine. The
+// worker pool cannot let a panic unwind its own goroutine — that would
+// kill the whole process regardless of any recover the caller installed —
+// so each worker records the first panic here and the pool re-raises it
+// on the calling goroutine after the pool drains. The facade's recovery
+// boundary then converts it into a typed error.
+type PanicError struct {
+	// Val is the original panic value.
+	Val any
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("core: internal panic: %v", e.Val) }
+
+// capturePanic is deferred at the top of every worker goroutine. It keeps
+// the first panic (later ones are reported in the first one's shadow
+// anyway) and lets the worker exit normally so wg.Wait returns.
+func (q *qctx) capturePanic() {
+	if r := recover(); r != nil {
+		q.panicked.CompareAndSwap(nil, &PanicError{Val: r, Stack: debug.Stack()})
+	}
+}
+
+// rethrow re-raises a captured worker panic on the calling goroutine. It
+// must run after the pool's wg.Wait, where a panic unwinds through the
+// engine into the facade's recovery boundary.
+func (q *qctx) rethrow() {
+	if pe := q.panicked.Load(); pe != nil {
+		panic(pe)
+	}
+}

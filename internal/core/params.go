@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Params are the GP-SSN query parameters of Definition 5 and Table 3.
 type Params struct {
@@ -37,14 +40,17 @@ func (p Params) Validate(rmin, rmax float64) error {
 	if p.Tau < 1 {
 		return fmt.Errorf("core: tau must be >= 1, got %d", p.Tau)
 	}
-	if p.Gamma < 0 {
+	// NaN comparisons are false both ways, so the thresholds are checked
+	// with negated >= forms: a NaN gamma/theta/r must be rejected here, not
+	// silently disable every pruning rule downstream.
+	if !(p.Gamma >= 0) {
 		return fmt.Errorf("core: gamma must be >= 0, got %v", p.Gamma)
 	}
-	if p.Theta < 0 {
+	if !(p.Theta >= 0) {
 		return fmt.Errorf("core: theta must be >= 0, got %v", p.Theta)
 	}
-	if p.R <= 0 {
-		return fmt.Errorf("core: r must be > 0, got %v", p.R)
+	if !(p.R > 0) || math.IsInf(p.R, 1) {
+		return fmt.Errorf("core: r must be a finite positive value, got %v", p.R)
 	}
 	if p.R < rmin || p.R > rmax {
 		return fmt.Errorf("core: r=%v outside the index build range [%v, %v]", p.R, rmin, rmax)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gpssn/internal/failpoint"
 	"gpssn/internal/geo"
 
 	"gpssn/internal/model"
@@ -649,6 +650,10 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic on a worker goroutine would kill the process no
+			// matter what the caller recovers; capture it instead and
+			// re-raise it on the calling goroutine after wg.Wait.
+			defer q.capturePanic()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(anchors) {
@@ -671,11 +676,18 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 					q.noteTruncated()
 					return
 				}
+				// Deterministic invariant-panic injection for the
+				// robustness matrix: proves worker panics surface as a
+				// typed error at the facade, never a process crash.
+				if _, ok := failpoint.Eval("core.refine.panic"); ok {
+					panic("core: failpoint-injected refinement panic")
+				}
 				processAnchor(ac)
 			}
 		}()
 	}
 	wg.Wait()
+	q.rethrow()
 
 	st.PairsEvaluated = pairs.Load()
 	items := keeper.rk.items

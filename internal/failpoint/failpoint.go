@@ -1,0 +1,121 @@
+// Package failpoint provides deterministic fault injection at named sites
+// for the robustness test matrix (docs/ROBUSTNESS.md). Production code
+// calls Eval/Error at well-known sites ("snap.section.DSET",
+// "oracle.build.hl", ...); unless a test armed that site the call is a
+// single atomic load and a nil return, so the instrumentation is free in
+// production builds. Tests arm a site with a Failure describing what to
+// inject — an error, a short (torn) write, or a single-bit flip — and the
+// site's package applies it deterministically.
+//
+// The package is concurrency-safe: arming, disarming, and evaluation may
+// race (queries run on worker pools). A Failure with Count > 0 triggers on
+// exactly that many evaluations and then disarms itself, which is how the
+// torn-write tests produce exactly one damaged section.
+package failpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects what a triggered failpoint injects.
+type Mode int
+
+const (
+	// ModeError makes the site return Failure.Err.
+	ModeError Mode = iota
+	// ModeShortWrite makes a writing site persist only the first N bytes
+	// of the payload (and nothing after it), simulating a torn write that
+	// still reached the disk.
+	ModeShortWrite
+	// ModeBitFlip makes a writing site XOR bit N (counted from the start
+	// of the payload) before persisting, simulating silent corruption.
+	ModeBitFlip
+)
+
+// Failure describes one injected fault.
+type Failure struct {
+	Mode Mode
+	// Err is returned by the site under ModeError.
+	Err error
+	// N is the byte count for ModeShortWrite and the bit offset for
+	// ModeBitFlip.
+	N int
+	// Count limits how many evaluations trigger before the site disarms
+	// itself; 0 means every evaluation triggers until Disarm.
+	Count int
+}
+
+var (
+	armed atomic.Int32 // number of armed sites; 0 = fast path
+	mu    sync.Mutex
+	sites map[string]*Failure
+)
+
+// Arm injects f at the named site until Disarm (or, with f.Count > 0, for
+// that many evaluations).
+func Arm(site string, f Failure) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = map[string]*Failure{}
+	}
+	if _, ok := sites[site]; !ok {
+		armed.Add(1)
+	}
+	cp := f
+	sites[site] = &cp
+}
+
+// Disarm removes any failure armed at the site.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site. Tests call it in cleanup so a failed test
+// cannot leak faults into the next one.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(sites)))
+	sites = nil
+}
+
+// Eval reports the failure armed at the site, if any, consuming one
+// triggered evaluation of a counted failure. The production fast path —
+// nothing armed anywhere — is a single atomic load.
+func Eval(site string) (Failure, bool) {
+	if armed.Load() == 0 {
+		return Failure{}, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	f, ok := sites[site]
+	if !ok {
+		return Failure{}, false
+	}
+	if f.Count > 0 {
+		f.Count--
+		if f.Count == 0 {
+			delete(sites, site)
+			armed.Add(-1)
+		}
+	}
+	return *f, true
+}
+
+// Error returns the error armed at the site under ModeError, or nil. It is
+// the one-liner used by pure control-flow sites (oracle builds, fsync,
+// rename) that have no payload to corrupt.
+func Error(site string) error {
+	f, ok := Eval(site)
+	if !ok || f.Mode != ModeError {
+		return nil
+	}
+	return f.Err
+}

@@ -1,0 +1,94 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	Reset()
+	if _, ok := Eval("nowhere"); ok {
+		t.Fatal("disarmed site triggered")
+	}
+	if err := Error("nowhere"); err != nil {
+		t.Fatalf("disarmed Error = %v", err)
+	}
+}
+
+func TestArmEvalDisarm(t *testing.T) {
+	defer Reset()
+	want := errors.New("boom")
+	Arm("a", Failure{Mode: ModeError, Err: want})
+	if err := Error("a"); !errors.Is(err, want) {
+		t.Fatalf("Error = %v, want %v", err, want)
+	}
+	// Unlimited failures keep triggering.
+	if err := Error("a"); !errors.Is(err, want) {
+		t.Fatalf("second Error = %v, want %v", err, want)
+	}
+	// Other sites are unaffected.
+	if err := Error("b"); err != nil {
+		t.Fatalf("unarmed site Error = %v", err)
+	}
+	Disarm("a")
+	if err := Error("a"); err != nil {
+		t.Fatalf("disarmed Error = %v", err)
+	}
+}
+
+func TestCountedFailureSelfDisarms(t *testing.T) {
+	defer Reset()
+	Arm("c", Failure{Mode: ModeBitFlip, N: 9, Count: 2})
+	for i := 0; i < 2; i++ {
+		f, ok := Eval("c")
+		if !ok || f.Mode != ModeBitFlip || f.N != 9 {
+			t.Fatalf("eval %d = %+v ok=%v", i, f, ok)
+		}
+	}
+	if _, ok := Eval("c"); ok {
+		t.Fatal("counted failure survived its count")
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count = %d after self-disarm", armed.Load())
+	}
+}
+
+func TestRearmReplacesWithoutLeak(t *testing.T) {
+	defer Reset()
+	Arm("r", Failure{Mode: ModeShortWrite, N: 1})
+	Arm("r", Failure{Mode: ModeShortWrite, N: 7})
+	if got := armed.Load(); got != 1 {
+		t.Fatalf("armed count = %d after re-arm", got)
+	}
+	f, _ := Eval("r")
+	if f.N != 7 {
+		t.Fatalf("re-arm did not replace: N = %d", f.N)
+	}
+}
+
+func TestConcurrentEval(t *testing.T) {
+	defer Reset()
+	Arm("p", Failure{Mode: ModeError, Err: errors.New("x"), Count: 100})
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, ok := Eval("p"); ok {
+					hits[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 100 {
+		t.Fatalf("counted failure triggered %d times, want 100", total)
+	}
+}

@@ -12,6 +12,13 @@ import (
 	"gpssn/internal/socialnet"
 )
 
+// finiteCoords rejects NaN/Inf and over-magnitude coordinates: they parse
+// fine but would corrupt snapping and every downstream distance (beyond
+// MaxCoord, squared distances overflow to +Inf).
+func finiteCoords(x, y float64) bool {
+	return CoordOK(x) && CoordOK(y)
+}
+
 // CSVInput bundles the readers for LoadCSV. The formats mirror the public
 // dumps the paper used (SNAP edge lists for Brightkite/Gowalla, the
 // DIMACS/Utah road files for California/Colorado):
@@ -61,6 +68,9 @@ func LoadCSV(in CSVInput) (*Dataset, error) {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("model: road vertex row %d: bad numbers", i+1)
 		}
+		if !finiteCoords(x, y) {
+			return nil, fmt.Errorf("model: road vertex row %d: coordinates must be finite", i+1)
+		}
 		if _, dup := verts[id]; dup {
 			return nil, fmt.Errorf("model: duplicate road vertex id %d", id)
 		}
@@ -97,9 +107,10 @@ func LoadCSV(in CSVInput) (*Dataset, error) {
 		if u == v {
 			return nil, fmt.Errorf("model: road edge row %d is a self-loop", i+1)
 		}
-		if !road.HasEdge(roadnet.VertexID(u), roadnet.VertexID(v)) {
-			road.AddEdge(roadnet.VertexID(u), roadnet.VertexID(v))
+		if road.HasEdge(roadnet.VertexID(u), roadnet.VertexID(v)) {
+			return nil, fmt.Errorf("model: road edge row %d: duplicate edge %d-%d", i+1, u, v)
 		}
+		road.AddEdge(roadnet.VertexID(u), roadnet.VertexID(v))
 	}
 	if road.NumEdges() == 0 {
 		return nil, fmt.Errorf("model: no road edges")
@@ -133,7 +144,7 @@ func LoadCSV(in CSVInput) (*Dataset, error) {
 		seenU[id] = true
 		x, err1 := strconv.ParseFloat(row[1], 64)
 		y, err2 := strconv.ParseFloat(row[2], 64)
-		if err1 != nil || err2 != nil {
+		if err1 != nil || err2 != nil || !finiteCoords(x, y) {
 			return nil, fmt.Errorf("model: user row %d: bad coordinates", i+1)
 		}
 		w := make([]float64, d)
@@ -168,9 +179,13 @@ func LoadCSV(in CSVInput) (*Dataset, error) {
 			if u < 0 || u >= len(users) || v < 0 || v >= len(users) {
 				return nil, fmt.Errorf("model: social edge row %d references missing user", i+1)
 			}
-			if u != v {
-				social.AddFriendship(socialnet.UserID(u), socialnet.UserID(v))
+			if u == v {
+				return nil, fmt.Errorf("model: social edge row %d is a self-loop", i+1)
 			}
+			if social.AreFriends(socialnet.UserID(u), socialnet.UserID(v)) {
+				return nil, fmt.Errorf("model: social edge row %d: duplicate friendship %d-%d", i+1, u, v)
+			}
+			social.AddFriendship(socialnet.UserID(u), socialnet.UserID(v))
 		}
 	}
 
@@ -198,7 +213,7 @@ func LoadCSV(in CSVInput) (*Dataset, error) {
 		seenP[id] = true
 		x, err1 := strconv.ParseFloat(row[1], 64)
 		y, err2 := strconv.ParseFloat(row[2], 64)
-		if err1 != nil || err2 != nil {
+		if err1 != nil || err2 != nil || !finiteCoords(x, y) {
 			return nil, fmt.Errorf("model: POI row %d: bad coordinates", i+1)
 		}
 		var kws []int

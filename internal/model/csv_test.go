@@ -56,15 +56,19 @@ func TestLoadCSVGood(t *testing.T) {
 	}
 }
 
-func TestLoadCSVDuplicateRoadEdgesIgnored(t *testing.T) {
-	in := goodCSV()
-	in.RoadEdges = strings.NewReader("0,1\n1,0\n0,1\n1,2\n2,3\n3,0")
-	ds, err := LoadCSV(in)
-	if err != nil {
-		t.Fatalf("LoadCSV: %v", err)
-	}
-	if ds.Road.NumEdges() != 4 {
-		t.Errorf("duplicate edges not deduped: %d", ds.Road.NumEdges())
+func TestLoadCSVDuplicateRoadEdgeRejected(t *testing.T) {
+	// The reversed duplicate must be caught too (the graph is undirected),
+	// and the error must carry the offending row number.
+	for _, dup := range []string{"0,1\n0,1\n1,2", "0,1\n1,0\n1,2"} {
+		in := goodCSV()
+		in.RoadEdges = strings.NewReader(dup)
+		_, err := LoadCSV(in)
+		if err == nil {
+			t.Fatalf("duplicate road edge %q accepted", dup)
+		}
+		if !strings.Contains(err.Error(), "row 2") {
+			t.Errorf("error %q does not name row 2", err)
+		}
 	}
 }
 
@@ -86,6 +90,12 @@ func TestLoadCSVErrors(t *testing.T) {
 		"bad interest":    func(in *CSVInput) { in.Users = strings.NewReader("0,0,0,x,0.5") },
 		"interest > 1":    func(in *CSVInput) { in.Users = strings.NewReader("0,0,0,2.0,0.5") },
 		"social missing":  func(in *CSVInput) { in.SocialEdges = strings.NewReader("0,99") },
+		"social selfloop": func(in *CSVInput) { in.SocialEdges = strings.NewReader("1,1") },
+		"social dup":      func(in *CSVInput) { in.SocialEdges = strings.NewReader("0,1\n1,0") },
+		"NaN vertex":      func(in *CSVInput) { in.RoadVertices = strings.NewReader("0,NaN,0\n1,1,0") },
+		"Inf user coord":  func(in *CSVInput) { in.Users = strings.NewReader("0,+Inf,0,0.5,0.5") },
+		"NaN POI coord":   func(in *CSVInput) { in.POIs = strings.NewReader("0,NaN,0,0") },
+		"NaN interest":    func(in *CSVInput) { in.Users = strings.NewReader("0,0,0,NaN,0.5") },
 		"no POIs":         func(in *CSVInput) { in.POIs = strings.NewReader("# nothing") },
 		"bad POI kw":      func(in *CSVInput) { in.POIs = strings.NewReader("0,0,0,x") },
 		"POI kw too big":  func(in *CSVInput) { in.POIs = strings.NewReader("0,0,0,9") },

@@ -16,6 +16,11 @@ import (
 // version so future layouts can coexist.
 var magic = [8]byte{'G', 'P', 'S', 'S', 'N', 'D', 'S', 1}
 
+// maxCount bounds every element count read from a dataset file. Counts
+// beyond it are treated as corruption so a damaged length field cannot
+// drive a giant allocation or an unbounded read loop.
+const maxCount = 1 << 26
+
 // Save writes the dataset in the library's binary format. The format is
 // self-contained (graph topology, users, POIs) and deterministic: saving
 // the same dataset twice yields identical bytes.
@@ -109,14 +114,29 @@ func Load(r io.Reader) (*Dataset, error) {
 	d := &Dataset{}
 	d.Name = dec.str()
 	d.NumTopics = int(dec.u32())
+	if d.NumTopics < 0 || d.NumTopics > maxCount {
+		return nil, fmt.Errorf("model: implausible topic count %d", d.NumTopics)
+	}
 
+	// Every count read below is capped before it sizes an allocation or
+	// bounds a loop: a corrupt or adversarial file must fail with an error,
+	// never drive a multi-gigabyte allocation or a near-endless read loop.
 	nv := int(dec.u32())
+	if nv < 0 || nv > maxCount {
+		return nil, fmt.Errorf("model: implausible vertex count %d", nv)
+	}
 	d.Road = roadnet.NewGraph(nv, nv*2)
 	for i := 0; i < nv; i++ {
 		x, y := dec.f64(), dec.f64()
+		if dec.err != nil {
+			return nil, dec.err
+		}
 		d.Road.AddVertex(geo.Pt(x, y))
 	}
 	ne := int(dec.u32())
+	if ne < 0 || ne > maxCount {
+		return nil, fmt.Errorf("model: implausible edge count %d", ne)
+	}
 	for i := 0; i < ne; i++ {
 		u, v := dec.u32(), dec.u32()
 		if dec.err != nil {
@@ -125,11 +145,17 @@ func Load(r io.Reader) (*Dataset, error) {
 		if int(u) >= nv || int(v) >= nv {
 			return nil, fmt.Errorf("model: edge %d references vertex out of range", i)
 		}
+		if u == v {
+			return nil, fmt.Errorf("model: edge %d is a self-loop at %d", i, u)
+		}
 		d.Road.AddEdge(roadnet.VertexID(u), roadnet.VertexID(v))
 	}
 
 	nu := int(dec.u32())
 	nf := int(dec.u32())
+	if nu < 0 || nu > maxCount || nf < 0 || nf > maxCount {
+		return nil, fmt.Errorf("model: implausible user/friendship counts %d/%d", nu, nf)
+	}
 	d.Social = socialnet.NewGraph(nu)
 	for i := 0; i < nf; i++ {
 		u, v := dec.u32(), dec.u32()
@@ -142,9 +168,12 @@ func Load(r io.Reader) (*Dataset, error) {
 		d.Social.AddFriendship(socialnet.UserID(u), socialnet.UserID(v))
 	}
 
-	d.Users = make([]User, nu)
+	// Users and POIs are appended one record at a time rather than
+	// allocated up front from the declared counts: a lying count then fails
+	// at the first truncated record instead of reserving gigabytes.
+	d.Users = make([]User, 0, min(nu, 1<<16))
 	for i := 0; i < nu; i++ {
-		u := &d.Users[i]
+		var u User
 		u.ID = socialnet.UserID(i)
 		u.At = roadnet.Attach{Edge: roadnet.EdgeID(dec.u32()), T: dec.f64()}
 		u.Loc = geo.Pt(dec.f64(), dec.f64())
@@ -152,12 +181,19 @@ func Load(r io.Reader) (*Dataset, error) {
 		for f := range u.Interests {
 			u.Interests[f] = dec.f64()
 		}
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		d.Users = append(d.Users, u)
 	}
 
 	np := int(dec.u32())
-	d.POIs = make([]POI, np)
+	if np < 0 || np > maxCount {
+		return nil, fmt.Errorf("model: implausible POI count %d", np)
+	}
+	d.POIs = make([]POI, 0, min(np, 1<<16))
 	for i := 0; i < np; i++ {
-		p := &d.POIs[i]
+		var p POI
 		p.ID = POIID(i)
 		p.At = roadnet.Attach{Edge: roadnet.EdgeID(dec.u32()), T: dec.f64()}
 		p.Loc = geo.Pt(dec.f64(), dec.f64())
@@ -172,6 +208,10 @@ func Load(r io.Reader) (*Dataset, error) {
 		for k := range p.Keywords {
 			p.Keywords[k] = int(dec.u32())
 		}
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		d.POIs = append(d.POIs, p)
 	}
 
 	if dec.err != nil {

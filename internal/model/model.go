@@ -14,6 +14,18 @@ import (
 	"gpssn/internal/socialnet"
 )
 
+// MaxCoord bounds coordinate magnitude. Beyond it squared distances and
+// bounding-box areas overflow to +Inf, which breaks spatial snapping and
+// every downstream distance, so such coordinates are rejected alongside
+// NaN and ±Inf.
+const MaxCoord = 1e150
+
+// CoordOK reports whether v is usable as a coordinate: finite and within
+// ±MaxCoord. The negated-comparison form also rejects NaN.
+func CoordOK(v float64) bool {
+	return v >= -MaxCoord && v <= MaxCoord
+}
+
 // POIID identifies a point of interest; it is the POI's index in
 // Dataset.POIs.
 type POIID int32
@@ -64,6 +76,12 @@ func (d *Dataset) Validate() error {
 	if len(d.Users) != d.Social.NumUsers() {
 		return fmt.Errorf("model: %d users but %d social vertices", len(d.Users), d.Social.NumUsers())
 	}
+	for v := 0; v < d.Road.NumVertices(); v++ {
+		p := d.Road.Vertex(roadnet.VertexID(v))
+		if !CoordOK(p.X) || !CoordOK(p.Y) {
+			return fmt.Errorf("model: road vertex %d at unusable (%v, %v)", v, p.X, p.Y)
+		}
+	}
 	for i, u := range d.Users {
 		if int(u.ID) != i {
 			return fmt.Errorf("model: user at position %d has id %d", i, u.ID)
@@ -72,7 +90,9 @@ func (d *Dataset) Validate() error {
 			return fmt.Errorf("model: user %d has %d interests, want %d", i, len(u.Interests), d.NumTopics)
 		}
 		for f, p := range u.Interests {
-			if p < 0 || p > 1 {
+			// The negated form also rejects NaN (both plain comparisons
+			// are false for it).
+			if !(p >= 0 && p <= 1) {
 				return fmt.Errorf("model: user %d interest %d = %v outside [0,1]", i, f, p)
 			}
 		}
@@ -103,7 +123,7 @@ func (d *Dataset) checkAttach(a roadnet.Attach) error {
 	if a.Edge < 0 || int(a.Edge) >= d.Road.NumEdges() {
 		return fmt.Errorf("attachment edge %d out of range [0,%d)", a.Edge, d.Road.NumEdges())
 	}
-	if a.T < 0 || a.T > 1 {
+	if !(a.T >= 0 && a.T <= 1) { // negated form: NaN must fail too
 		return fmt.Errorf("attachment offset %v outside [0,1]", a.T)
 	}
 	return nil

@@ -22,6 +22,18 @@ func buildEdgeGrid(g *Graph) *edgeGrid {
 	if b.IsEmpty() || len(g.edges) == 0 {
 		return &edgeGrid{bounds: b, cell: 1, cols: 1, rows: 1, cells: map[int][]EdgeID{}}
 	}
+	// A bounding box so large its width, height, or area overflows would
+	// make the cell arithmetic below produce NaN column counts and send
+	// eachCell walking an unbounded range; degrade to one cell holding
+	// every edge (linear-scan snapping) instead.
+	if !(b.Width() < math.MaxFloat64 && b.Height() < math.MaxFloat64 && b.Area() < math.MaxFloat64) {
+		eg := &edgeGrid{bounds: b, cell: math.MaxFloat64, cols: 1, rows: 1,
+			cells: map[int][]EdgeID{}}
+		for id := range g.edges {
+			eg.cells[0] = append(eg.cells[0], EdgeID(id))
+		}
+		return eg
+	}
 	// Aim for ~1 edge per cell on average.
 	area := math.Max(b.Area(), 1e-9)
 	cell := math.Sqrt(area / float64(len(g.edges)))

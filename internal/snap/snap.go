@@ -1,0 +1,319 @@
+// Package snap implements the framing layer of the GP-SSN snapshot format
+// (docs/ROBUSTNESS.md): a magic+version header followed by a sequence of
+// sections, each a 4-byte ASCII tag, a little-endian uint64 payload
+// length, the payload, and a CRC64-ECMA checksum of the payload. Every
+// kind of damage — bad magic, version skew, a truncated header, a torn
+// payload, a checksum mismatch — is detected and reported as a
+// *CorruptError naming the damaged section, so the caller can rebuild
+// exactly that section from source data instead of failing the open.
+//
+// The Writer consults the failpoint registry at "snap.section.<tag>" so
+// the robustness test matrix can deterministically produce torn and
+// bit-flipped files through the real write path.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+
+	"gpssn/internal/failpoint"
+)
+
+// Magic identifies a GP-SSN snapshot file; the last byte is the format
+// version.
+var Magic = [8]byte{'G', 'P', 'S', 'S', 'N', 'A', 'P', 1}
+
+// MaxSectionLen bounds a single section payload (1 GiB). A declared length
+// beyond it is treated as corruption, which keeps a damaged or adversarial
+// length field from driving a giant allocation.
+const MaxSectionLen = 1 << 30
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum returns the CRC64-ECMA checksum the format uses.
+func Checksum(p []byte) uint64 { return crc64.Checksum(p, crcTable) }
+
+// CorruptError reports detected snapshot damage. Section is the 4-byte tag
+// of the damaged section, or "head" when the file header itself (magic or
+// version) is unusable.
+type CorruptError struct {
+	Section string
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("snapshot section %q corrupt: %s", e.Section, e.Reason)
+}
+
+// Section is one decoded frame.
+type Section struct {
+	Tag     string
+	Payload []byte
+}
+
+// Writer frames sections onto an io.Writer. After a short-write failpoint
+// triggers, the writer is torn: the damaged section's payload is cut off
+// mid-stream and every later Section call is a silent no-op, which is
+// exactly what a crash between two writes leaves on disk.
+type Writer struct {
+	w    io.Writer
+	err  error
+	torn bool
+}
+
+// NewWriter writes the magic header and returns a section writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	sw := &Writer{w: w}
+	if _, err := w.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Section writes one framed section. The failpoint site
+// "snap.section.<tag>" can inject an I/O error (returned), a short write
+// (the payload is cut to N bytes and the writer goes torn), or a bit flip
+// (bit N of the payload is inverted before checksumming the original, so
+// the CRC catches it on read).
+func (sw *Writer) Section(tag string, payload []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.torn {
+		return nil
+	}
+	if len(tag) != 4 {
+		return fmt.Errorf("snap: tag %q must be 4 bytes", tag)
+	}
+	if len(payload) > MaxSectionLen {
+		return fmt.Errorf("snap: section %q payload %d exceeds limit", tag, len(payload))
+	}
+	// The checksum and declared length always describe the payload the
+	// caller intended: a short-write failpoint cuts what hits the disk but
+	// not what the header promised, exactly like a crash mid-write.
+	sum := Checksum(payload)
+	declared := uint64(len(payload))
+	if f, ok := failpoint.Eval("snap.section." + tag); ok {
+		switch f.Mode {
+		case failpoint.ModeError:
+			sw.err = f.Err
+			return sw.err
+		case failpoint.ModeShortWrite:
+			n := f.N
+			if n > len(payload) {
+				n = len(payload)
+			}
+			payload = payload[:n]
+			sw.torn = true
+		case failpoint.ModeBitFlip:
+			if len(payload) > 0 {
+				flipped := append([]byte(nil), payload...)
+				off := f.N % (len(flipped) * 8)
+				flipped[off/8] ^= 1 << (off % 8)
+				payload = flipped
+			}
+		}
+	}
+	var head [12]byte
+	copy(head[:4], tag)
+	binary.LittleEndian.PutUint64(head[4:], declared)
+	if _, err := sw.w.Write(head[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		sw.err = err
+		return err
+	}
+	if sw.torn {
+		return nil // nothing after the torn payload reaches the disk
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], sum)
+	if _, err := sw.w.Write(tail[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	return nil
+}
+
+// Read decodes every section of a snapshot stream. It returns the sections
+// that survived intact; when damage is detected the clean prefix is
+// returned together with a *CorruptError naming the first damaged section
+// (everything after a torn frame is unrecoverable in a stream format, so
+// later sections are simply absent from the result).
+func Read(r io.Reader) ([]Section, error) {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return nil, &CorruptError{Section: "head", Reason: fmt.Sprintf("short magic: %v", err)}
+	}
+	if got != Magic {
+		if string(got[:7]) == string(Magic[:7]) {
+			return nil, &CorruptError{Section: "head", Reason: fmt.Sprintf("version %d, want %d", got[7], Magic[7])}
+		}
+		return nil, &CorruptError{Section: "head", Reason: fmt.Sprintf("bad magic %q", got[:])}
+	}
+	var out []Section
+	for {
+		var head [12]byte
+		if _, err := io.ReadFull(r, head[:]); err == io.EOF {
+			return out, nil // clean end at a section boundary
+		} else if err != nil {
+			return out, &CorruptError{Section: "head", Reason: fmt.Sprintf("torn section header: %v", err)}
+		}
+		tag := string(head[:4])
+		if !plausibleTag(tag) {
+			return out, &CorruptError{Section: tag, Reason: "implausible section tag"}
+		}
+		n := binary.LittleEndian.Uint64(head[4:])
+		if n > MaxSectionLen {
+			return out, &CorruptError{Section: tag, Reason: fmt.Sprintf("declared length %d exceeds limit", n)}
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return out, &CorruptError{Section: tag, Reason: fmt.Sprintf("torn payload: %v", err)}
+		}
+		var tail [8]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return out, &CorruptError{Section: tag, Reason: fmt.Sprintf("torn checksum: %v", err)}
+		}
+		if sum := binary.LittleEndian.Uint64(tail[:]); sum != Checksum(payload) {
+			return out, &CorruptError{Section: tag, Reason: "checksum mismatch"}
+		}
+		out = append(out, Section{Tag: tag, Payload: payload})
+	}
+}
+
+// plausibleTag rejects frame headers that are clearly noise (a torn file
+// whose remaining bytes happen to parse as a header). Tags are 4 printable
+// ASCII bytes by construction.
+func plausibleTag(tag string) bool {
+	for i := 0; i < len(tag); i++ {
+		if tag[i] < 0x20 || tag[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// Enc is an append-only little-endian encoder for section payloads.
+type Enc struct{ B []byte }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.B = binary.LittleEndian.AppendUint64(e.B, v) }
+
+// F64 appends a float64 bit pattern.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// I32s appends a length-prefixed []int32.
+func (e *Enc) I32s(v []int32) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U32(uint32(x))
+	}
+}
+
+// F64s appends a length-prefixed []float64.
+func (e *Enc) F64s(v []float64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Dec decodes a section payload produced by Enc. Every read is
+// bounds-checked; the first failure sticks and poisons all later reads, so
+// decoders read straight-line and check Err once. Length-prefixed slices
+// verify the declared length against the remaining bytes before
+// allocating, so a corrupt length cannot drive a giant allocation.
+type Dec struct {
+	B   []byte
+	off int
+	err error
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Done reports whether every byte was consumed without error.
+func (d *Dec) Done() bool { return d.err == nil && d.off == len(d.B) }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.B)-d.off < n {
+		d.fail("snap: truncated payload (want %d bytes at offset %d of %d)", n, d.off, len(d.B))
+		return nil
+	}
+	b := d.B[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U32 reads a uint32 (0 after an error).
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64 (0 after an error).
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64 (0 after an error).
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// I32s reads a length-prefixed []int32 written by Enc.I32s.
+func (d *Dec) I32s() []int32 {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	if len(d.B)-d.off < n*4 {
+		d.fail("snap: int32 slice length %d exceeds remaining payload", n)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.U32())
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64 written by Enc.F64s.
+func (d *Dec) F64s() []float64 {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	if len(d.B)-d.off < n*8 {
+		d.fail("snap: float64 slice length %d exceeds remaining payload", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gpssn/internal/failpoint"
+)
+
+func writeTwo(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("AAAA", []byte("first payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("BBBB", bytes.Repeat([]byte{7}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	secs, err := Read(bytes.NewReader(writeTwo(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 || secs[0].Tag != "AAAA" || string(secs[0].Payload) != "first payload" ||
+		secs[1].Tag != "BBBB" || len(secs[1].Payload) != 100 {
+		t.Fatalf("sections = %+v", secs)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a snapshot file"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	skew := writeTwo(t)
+	skew[7] = 99
+	var ce *CorruptError
+	if _, err := Read(bytes.NewReader(skew)); !errors.As(err, &ce) || ce.Section != "head" {
+		t.Fatalf("version skew error = %v", err)
+	}
+}
+
+// TestEveryTruncationDetected cuts the file at every possible length; Read
+// must either return the intact prefix sections or a CorruptError — and
+// never an undetected half-section.
+func TestEveryTruncationDetected(t *testing.T) {
+	full := writeTwo(t)
+	for cut := 0; cut < len(full); cut++ {
+		secs, err := Read(bytes.NewReader(full[:cut]))
+		if err == nil && cut != len(full) {
+			// Only legal when the cut lands exactly on a section boundary.
+			n := len(Magic)
+			for _, s := range secs {
+				n += 12 + len(s.Payload) + 8
+			}
+			if n != cut {
+				t.Fatalf("cut=%d: no error but %d sections covering %d bytes", cut, len(secs), n)
+			}
+			continue
+		}
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("cut=%d: error %v is not a CorruptError", cut, err)
+			}
+		}
+	}
+}
+
+// TestEveryBitFlipDetected flips each byte of the file in turn; Read must
+// report corruption (or, for bytes inside a length field that still parse,
+// at worst a CorruptError) — never silently return damaged payloads.
+func TestEveryBitFlipDetected(t *testing.T) {
+	full := writeTwo(t)
+	for i := len(Magic); i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		secs, err := Read(bytes.NewReader(mut))
+		if err != nil {
+			continue // detected
+		}
+		for _, s := range secs {
+			want := "first payload"
+			if s.Tag == "AAAA" && string(s.Payload) != want {
+				t.Fatalf("byte %d: damaged payload accepted", i)
+			}
+			if s.Tag == "BBBB" {
+				for _, b := range s.Payload {
+					if b != 7 {
+						t.Fatalf("byte %d: damaged payload accepted", i)
+					}
+				}
+			}
+		}
+		if len(secs) == 2 {
+			t.Fatalf("byte %d: flip undetected with all sections intact", i)
+		}
+	}
+}
+
+func TestShortWriteFailpointTearsFile(t *testing.T) {
+	defer failpoint.Reset()
+	failpoint.Arm("snap.section.BBBB", failpoint.Failure{Mode: failpoint.ModeShortWrite, N: 10})
+	data := writeTwo(t)
+	secs, err := Read(bytes.NewReader(data))
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "BBBB" {
+		t.Fatalf("torn section not detected: secs=%d err=%v", len(secs), err)
+	}
+	if len(secs) != 1 || secs[0].Tag != "AAAA" {
+		t.Fatalf("intact prefix lost: %+v", secs)
+	}
+}
+
+func TestBitFlipFailpointBreaksChecksum(t *testing.T) {
+	defer failpoint.Reset()
+	failpoint.Arm("snap.section.AAAA", failpoint.Failure{Mode: failpoint.ModeBitFlip, N: 17})
+	secs, err := Read(bytes.NewReader(writeTwo(t)))
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "AAAA" {
+		t.Fatalf("flipped section not detected: secs=%d err=%v", len(secs), err)
+	}
+}
+
+func TestErrorFailpointFailsWrite(t *testing.T) {
+	defer failpoint.Reset()
+	boom := errors.New("disk on fire")
+	failpoint.Arm("snap.section.AAAA", failpoint.Failure{Mode: failpoint.ModeError, Err: boom})
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("AAAA", []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("Section err = %v", err)
+	}
+	// The writer is poisoned: later sections fail too.
+	if err := w.Section("BBBB", []byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("poisoned Section err = %v", err)
+	}
+}
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U32(42)
+	e.F64(3.5)
+	e.I32s([]int32{-1, 0, 7})
+	e.F64s([]float64{1, 2})
+	d := Dec{B: e.B}
+	if d.U32() != 42 || d.F64() != 3.5 {
+		t.Fatal("scalar mismatch")
+	}
+	is := d.I32s()
+	fs := d.F64s()
+	if len(is) != 3 || is[0] != -1 || is[2] != 7 || len(fs) != 2 || fs[1] != 2 {
+		t.Fatalf("slices = %v %v", is, fs)
+	}
+	if !d.Done() {
+		t.Fatalf("not done: err=%v", d.Err())
+	}
+	// A lying length prefix must fail before allocating.
+	bad := Dec{B: []byte{0xff, 0xff, 0xff, 0x7f}}
+	if bad.I32s() != nil || bad.Err() == nil {
+		t.Fatal("oversized slice length accepted")
+	}
+}

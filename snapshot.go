@@ -1,0 +1,310 @@
+package gpssn
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gpssn/internal/failpoint"
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/roadnet/ch"
+	"gpssn/internal/roadnet/hl"
+	"gpssn/internal/snap"
+)
+
+// Snapshots persist a built DB — dataset plus the expensive derived
+// distance oracles — into a single file, so reopening skips the
+// contraction-hierarchy and hub-label preprocessing. The format
+// (docs/ROBUSTNESS.md) is a magic+version header followed by
+// length-prefixed, CRC64-checksummed sections: the dataset, then the CH
+// and HL oracles, each oracle payload prefixed with a fingerprint of the
+// road topology it answers for. Sections are independent failure domains:
+// damage to an oracle section is repaired by rebuilding that oracle from
+// the dataset (reported via Health, not an error), while a snapshot whose
+// header or dataset section is unusable fails with ErrSnapshotCorrupt —
+// there is nothing left to rebuild from.
+
+// Snapshot section tags.
+const (
+	secDataset = "DSET"
+	secCH      = "CHOR"
+	secHL      = "HLBL"
+)
+
+// SnapshotError is the concrete error behind ErrSnapshotCorrupt: detected
+// damage in the one part of a snapshot that cannot be rebuilt.
+type SnapshotError struct {
+	// Path is the snapshot file.
+	Path string
+	// Section is the damaged section tag, or "head" for the file header.
+	Section string
+	// Reason describes the detected damage.
+	Reason string
+}
+
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("gpssn: snapshot %s: section %q corrupt: %s", e.Path, e.Section, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrSnapshotCorrupt) match.
+func (e *SnapshotError) Unwrap() error { return ErrSnapshotCorrupt }
+
+// roadFingerprint identifies the exact road topology an oracle answers
+// for. Oracle sections carry it so a snapshot whose oracle was built for
+// a different graph (a version-skewed or hand-edited file) is detected as
+// stale and rebuilt instead of serving wrong distances.
+func roadFingerprint(g *roadnet.Graph) uint64 {
+	var e snap.Enc
+	e.U32(uint32(g.NumVertices()))
+	e.U32(uint32(g.NumEdges()))
+	for v := 0; v < g.NumVertices(); v++ {
+		p := g.Vertex(roadnet.VertexID(v))
+		e.F64(p.X)
+		e.F64(p.Y)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		ed := g.EdgeAt(roadnet.EdgeID(i))
+		e.U32(uint32(ed.U))
+		e.U32(uint32(ed.V))
+	}
+	return snap.Checksum(e.B)
+}
+
+// Snapshot writes the DB — dataset and whichever oracles are attached —
+// to path, crash-safely: everything is serialized into a temp file in the
+// destination directory, fsynced, and atomically renamed over path, so a
+// crash at any point leaves either the old file or the new one, never a
+// half-written hybrid. Concurrent queries keep running (Snapshot holds
+// the read lock); dynamic updates block until it finishes.
+func (db *DB) Snapshot(path string) (err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	// Serialize fully in memory first: nothing touches the filesystem
+	// until every byte that will be written is known good.
+	var dsBuf bytes.Buffer
+	if err := db.net.ds.Save(&dsBuf); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	fp := roadFingerprint(db.net.ds.Road)
+	var chPayload, hlPayload []byte
+	switch o := db.net.ds.Road.Oracle().(type) {
+	case *hl.Oracle:
+		var ec snap.Enc
+		ec.U64(fp)
+		o.CH().Encode(&ec)
+		chPayload = ec.B
+		var eh snap.Enc
+		eh.U64(fp)
+		o.Encode(&eh)
+		hlPayload = eh.B
+	case *ch.Oracle:
+		var ec snap.Enc
+		ec.U64(fp)
+		o.Encode(&ec)
+		chPayload = ec.B
+	}
+
+	if err := failpoint.Error("snapshot.create"); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".gpssn-snap-*")
+	if err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	w, err := snap.NewWriter(bw)
+	if err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if err = w.Section(secDataset, dsBuf.Bytes()); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if chPayload != nil {
+		if err = w.Section(secCH, chPayload); err != nil {
+			return fmt.Errorf("gpssn: snapshot: %w", err)
+		}
+	}
+	if hlPayload != nil {
+		if err = w.Section(secHL, hlPayload); err != nil {
+			return fmt.Errorf("gpssn: snapshot: %w", err)
+		}
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if err = failpoint.Error("snapshot.sync"); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if err = failpoint.Error("snapshot.rename"); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename itself is durable. Best
+// effort: some filesystems refuse directory syncs, and the rename is
+// already atomic for crash-consistency purposes.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// OpenSnapshot opens a DB from a snapshot written by Snapshot. Detected
+// damage is handled by failure domain: a file whose header or dataset
+// section is unusable fails with an error matching ErrSnapshotCorrupt,
+// while damaged, stale, or missing oracle sections are rebuilt from the
+// restored dataset — the open succeeds and Health().Notes records what
+// was recovered. A cleanly-restored DB answers bit-identically to the DB
+// that was saved.
+func OpenSnapshot(path string, cfg Config) (*DB, error) {
+	c := cfg.withDefaults()
+	start := time.Now()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gpssn: open snapshot: %w", err)
+	}
+	secs, readErr := snap.Read(bufio.NewReader(f))
+	f.Close()
+	byTag := map[string][]byte{}
+	for _, s := range secs {
+		byTag[s.Tag] = s.Payload
+	}
+	var notes []string
+	if readErr != nil {
+		var ce *snap.CorruptError
+		if !errors.As(readErr, &ce) {
+			return nil, fmt.Errorf("gpssn: read snapshot: %w", readErr)
+		}
+		// Damage in the header or the dataset section is unrecoverable;
+		// damage confined to oracle sections is repaired below.
+		if ce.Section == "head" || byTag[secDataset] == nil {
+			return nil, &SnapshotError{Path: path, Section: ce.Section, Reason: ce.Reason}
+		}
+		notes = append(notes, fmt.Sprintf("section %q corrupt (%s); rebuilding derived data", ce.Section, ce.Reason))
+	}
+	dsBytes, ok := byTag[secDataset]
+	if !ok {
+		return nil, &SnapshotError{Path: path, Section: secDataset, Reason: "section missing"}
+	}
+	ds, err := model.Load(bytes.NewReader(dsBytes))
+	if err != nil {
+		return nil, &SnapshotError{Path: path, Section: secDataset, Reason: err.Error()}
+	}
+	net := &Network{ds: ds}
+	fp := roadFingerprint(ds.Road)
+
+	// Restore the requested oracle from its sections when possible; any
+	// failure — missing section, stale fingerprint, decode error — falls
+	// back to rebuilding from the dataset via the regular fallback chain.
+	health := Health{OracleRequested: c.DistanceOracle}
+	attached := false
+	switch c.DistanceOracle {
+	case "hl":
+		if cho := decodeCHSection(byTag[secCH], fp, &notes); cho != nil {
+			if hlo := decodeHLSection(byTag[secHL], fp, cho, &notes); hlo != nil {
+				ds.Road.SetDistanceOracle(hlo)
+				health.OracleActive = "hl"
+				attached = true
+			}
+		}
+	case "ch":
+		if cho := decodeCHSection(byTag[secCH], fp, &notes); cho != nil {
+			ds.Road.SetDistanceOracle(cho)
+			health.OracleActive = "ch"
+			attached = true
+		}
+	}
+	if !attached {
+		health, err = attachOracle(ds, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	health.Notes = append(notes, health.Notes...)
+	for _, n := range notes {
+		c.logf("gpssn: snapshot %s: %s", path, n)
+	}
+
+	db, err := buildDB(net, c)
+	if err != nil {
+		return nil, err
+	}
+	db.health = health
+	db.BuildTime = time.Since(start)
+	return db, nil
+}
+
+// decodeCHSection restores a contraction hierarchy from its section, or
+// returns nil (with a note) when the section is absent, stale, or does
+// not decode to a structurally valid oracle.
+func decodeCHSection(payload []byte, fp uint64, notes *[]string) *ch.Oracle {
+	if payload == nil {
+		*notes = append(*notes, "no CH section; rebuilding oracle from dataset")
+		return nil
+	}
+	d := &snap.Dec{B: payload}
+	if got := d.U64(); got != fp {
+		*notes = append(*notes, "CH section was built for a different road graph; rebuilding")
+		return nil
+	}
+	o, err := ch.Decode(d)
+	if err == nil && !d.Done() {
+		err = fmt.Errorf("trailing bytes after oracle payload")
+	}
+	if err != nil {
+		*notes = append(*notes, fmt.Sprintf("CH section invalid (%v); rebuilding", err))
+		return nil
+	}
+	return o
+}
+
+// decodeHLSection restores hub labels over an already-restored CH, under
+// the same contract as decodeCHSection.
+func decodeHLSection(payload []byte, fp uint64, cho *ch.Oracle, notes *[]string) *hl.Oracle {
+	if payload == nil {
+		*notes = append(*notes, "no HL section; rebuilding oracle from dataset")
+		return nil
+	}
+	d := &snap.Dec{B: payload}
+	if got := d.U64(); got != fp {
+		*notes = append(*notes, "HL section was built for a different road graph; rebuilding")
+		return nil
+	}
+	o, err := hl.Decode(d, cho)
+	if err == nil && !d.Done() {
+		err = fmt.Errorf("trailing bytes after label payload")
+	}
+	if err != nil {
+		*notes = append(*notes, fmt.Sprintf("HL section invalid (%v); rebuilding", err))
+		return nil
+	}
+	return o
+}
