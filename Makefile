@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke snapshot-matrix bench-parallel bench-smoke
+.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix bench-parallel bench-smoke bench-serve
 
 check: vet lint build test race
 
@@ -28,6 +28,26 @@ test:
 
 race:
 	$(GO) test -race -short -timeout 10m ./...
+
+# Every runnable example end to end; each is a standalone main that
+# exits non-zero on failure, so this doubles as a living-docs check.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tripplanning
+	$(GO) run ./examples/marketing
+	$(GO) run ./examples/importcsv
+	$(GO) run ./examples/serve
+
+# Broken relative links (file or heading anchor) in the markdown docs
+# fail the build; CI runs this in the lint job.
+docs-lint:
+	$(GO) run ./cmd/docs-lint README.md docs/*.md
+
+# End-to-end smoke test of the shipped gpssn-serve binary: build, serve a
+# generated dataset, health-check and query over real HTTP, drain on
+# SIGTERM (docs/SERVING.md §7). CI runs this on every push.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Short native-fuzz runs over the hostile-input surfaces (CSV import and
 # snapshot decode). ~30s each; CI runs this on every push, and longer
@@ -53,3 +73,10 @@ bench-parallel:
 bench-smoke:
 	$(GO) run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout BENCH_choracle.json
 	$(GO) run ./cmd/gpssn-bench -exp hublabel -scale 0.05 -queries 4 -jsonout BENCH_hublabel.json
+
+# The serving load test: 1000 concurrent zipf-skewed clients against an
+# in-process gpssn-serve over loopback TCP; reports p50/p99 latency,
+# throughput, shed rate and the coalescing/caching win (BENCH_serve.json,
+# recorded in docs/SERVING.md).
+bench-serve:
+	$(GO) run ./cmd/gpssn-bench -exp serve -scale 0.05 -jsonout BENCH_serve.json

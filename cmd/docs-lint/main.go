@@ -1,0 +1,125 @@
+// Command docs-lint checks the repository's markdown documentation for
+// broken relative links, so a renamed file or section can't silently rot
+// the cross-references that stitch README.md and docs/ together. CI runs
+// it (make docs-lint) over README.md and docs/*.md.
+//
+// Checked: every inline [text](target) link whose target is not an
+// external URL (http/https/mailto) or a pure in-page fragment. The
+// target path must exist relative to the linking file, and when the
+// target is a markdown file with a #fragment, the fragment must match a
+// heading in that file under GitHub's anchor rules.
+//
+// Usage:
+//
+//	docs-lint README.md docs/*.md
+//
+// Exits 1 listing every broken link; 0 when all links resolve.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links [text](target), skipping images.
+// Nested brackets in the text and parentheses in targets are out of
+// scope — the repo's docs don't use them.
+var linkRe = regexp.MustCompile(`(^|[^!])\[[^\]]*\]\(([^)\s]+)\)`)
+
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docs-lint <file.md> ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docs-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, bad := range check(file, string(data)) {
+			fmt.Fprintf(os.Stderr, "docs-lint: %s\n", bad)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docs-lint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("docs-lint: %d file(s) OK\n", len(os.Args)-1)
+}
+
+// check returns a message per broken link in one file's content.
+func check(file, content string) (bad []string) {
+	// Strip fenced code blocks: their brackets aren't links.
+	content = regexp.MustCompile("(?s)```.*?```").ReplaceAllString(content, "")
+	for _, m := range linkRe.FindAllStringSubmatch(content, -1) {
+		target := m[2]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external; availability is not this tool's job
+		}
+		path, frag, _ := strings.Cut(target, "#")
+		if path == "" {
+			// In-page fragment: check against this file's own headings.
+			if !hasAnchor(content, frag) {
+				bad = append(bad, fmt.Sprintf("%s: link %q: no heading matches #%s", file, target, frag))
+			}
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(file), path)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: link %q: %s does not exist", file, target, resolved))
+			continue
+		}
+		if frag == "" {
+			continue
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".md") {
+			bad = append(bad, fmt.Sprintf("%s: link %q: fragment on a non-markdown target", file, target))
+			continue
+		}
+		data, err := os.ReadFile(resolved)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: link %q: %v", file, target, err))
+			continue
+		}
+		if !hasAnchor(string(data), frag) {
+			bad = append(bad, fmt.Sprintf("%s: link %q: no heading in %s matches #%s", file, target, resolved, frag))
+		}
+	}
+	return bad
+}
+
+// hasAnchor reports whether any heading in content slugifies to frag.
+func hasAnchor(content, frag string) bool {
+	for _, h := range headingRe.FindAllStringSubmatch(content, -1) {
+		if slug(h[1]) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// slug reproduces GitHub's heading-anchor rule: lowercase, spaces to
+// hyphens, everything except letters, digits, hyphens and underscores
+// dropped (backticks, punctuation, §, arrows, ...).
+func slug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -21,9 +21,13 @@ import (
 	"time"
 
 	"gpssn/internal/bench"
+	"gpssn/internal/serve"
 )
 
 func main() {
+	// The serving load generator lives outside internal/bench (it drives
+	// the public facade); register it so -exp serve and -list see it.
+	bench.Register(serve.LoadExperiment())
 	var (
 		exp     = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
 		scale   = flag.Float64("scale", 0.1, "dataset scale relative to the paper (1.0 = published sizes)")

@@ -38,6 +38,18 @@ func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrInvalidInput}, args...)...)
 }
 
+// engineErr lifts an engine error into the public taxonomy: parameter
+// rejections the engine performs itself (bounds that depend on the built
+// index, like r within [RMin, RMax]) must match ErrInvalidInput, not fall
+// through as untyped caller-fault-looking internals. Every other engine
+// error is already typed (core.ErrCancelled, core.ErrDeadlineExceeded).
+func engineErr(err error) error {
+	if errors.Is(err, core.ErrInvalidParams) {
+		return fmt.Errorf("%w: %w", ErrInvalidInput, err)
+	}
+	return err
+}
+
 // InternalError is the concrete error behind ErrInternal: a recovered
 // internal panic converted into a value at the DB boundary, carrying
 // enough context to reproduce the failing query.

@@ -1,0 +1,155 @@
+// Serving: run the gpssn-serve HTTP layer in-process on a generated
+// dataset and talk to it the way production clients do — a health check,
+// a query, a top-k query — then demonstrate admission control by
+// shrinking the in-flight limit to 1 and firing a concurrent burst:
+// excess requests are shed with 429 + Retry-After instead of queueing,
+// and a polite retry after the hint succeeds. The full operator's
+// handbook for everything shown here is docs/SERVING.md.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpssn"
+	"gpssn/internal/serve"
+)
+
+func main() {
+	// A small city: ~2000 road vertices, 2000 users, 600 POIs.
+	netw, err := gpssn.GenerateSynthetic(gpssn.SyntheticOptions{
+		Name: "serve-example", Seed: 7,
+		RoadVertices: 2000, Users: 2000, POIs: 600,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := gpssn.Open(netw, gpssn.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The serving layer cmd/gpssn-serve wraps: admission control,
+	// request coalescing, per-request deadlines, drain. MaxInFlight is
+	// deliberately tiny so the shedding demo below can saturate it.
+	srv := serve.New(db, serve.Config{
+		MaxInFlight:    1,
+		DefaultTimeout: 5 * time.Second,
+		RetryAfter:     time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d users / %d POIs on %s\n\n", netw.NumUsers(), netw.NumPOIs(), ln.Addr())
+
+	// 1. The health check a load balancer would poll.
+	show("GET /healthz", get(base+"/healthz"))
+
+	// 2. One query: the best group of 5 around user 42, like
+	//    curl -d '{"user":42,...}' localhost:8080/v1/query
+	q := `{"user":42,"group_size":5,"gamma":0.4,"theta":0.4,"radius":3}`
+	show("POST /v1/query  "+q, post(base+"/v1/query", q))
+
+	// 3. Top-k: the 3 best answers, distinct anchors.
+	qk := `{"user":42,"group_size":5,"gamma":0.4,"theta":0.4,"radius":3,"k":3}`
+	show("POST /v1/topk  "+qk, post(base+"/v1/topk", qk))
+
+	// 4. Load shedding: 16 different queries at once against a server
+	//    that executes one at a time. The excess is rejected immediately
+	//    with 429 — bounded latency for the admitted, backpressure for
+	//    the rest — not silently queued.
+	fmt.Println("-- burst: 16 concurrent queries, max-inflight 1 --")
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		ok, shed   int
+		retryAfter string
+		shedBody   string
+	)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"user":%d,"group_size":6,"gamma":0.3,"theta":0.3,"radius":4}`, user)
+			resp := post(base+"/v1/query", body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.status {
+			case http.StatusTooManyRequests:
+				shed++
+				retryAfter = resp.header.Get("Retry-After")
+				shedBody = resp.body
+			default:
+				ok++
+			}
+		}(100 + i*17)
+	}
+	wg.Wait()
+	fmt.Printf("answered: %d, shed with 429: %d\n", ok, shed)
+	if shed > 0 {
+		fmt.Printf("a shed response (Retry-After: %ss): %s\n", retryAfter, shedBody)
+	}
+
+	// 5. The prescribed client reaction: wait the hint out, try again.
+	time.Sleep(time.Second)
+	resp := post(base+"/v1/query", q)
+	fmt.Printf("retry after backoff: %d\n\n", resp.status)
+
+	// 6. /statsz shows what happened, in counters a dashboard would diff.
+	show("GET /statsz", get(base+"/statsz"))
+}
+
+type reply struct {
+	status int
+	header http.Header
+	body   string
+}
+
+func get(url string) reply {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return read(resp)
+}
+
+func post(url, body string) reply {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return read(resp)
+}
+
+func read(resp *http.Response) reply {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return reply{status: resp.StatusCode, header: resp.Header, body: string(bytes.TrimSpace(b))}
+}
+
+// show pretty-prints one exchange.
+func show(title string, r reply) {
+	fmt.Printf("-- %s --\n", title)
+	var v any
+	if json.Unmarshal([]byte(r.body), &v) == nil {
+		pretty, _ := json.MarshalIndent(v, "", "  ")
+		fmt.Printf("%d %s\n\n", r.status, pretty)
+		return
+	}
+	fmt.Printf("%d %s\n\n", r.status, r.body)
+}

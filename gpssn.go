@@ -27,8 +27,34 @@
 //		GroupSize: 2, Gamma: 0.3, Theta: 0.5, Radius: 1,
 //	})
 //
-// Synthetic and "real-like" datasets matching the paper's evaluation can
-// be generated with GenerateSynthetic and GenerateRealLike.
+// # Entry points
+//
+// Build a Network by hand with NewBuilder, generate one with
+// GenerateSynthetic or GenerateRealLike (the paper's evaluation
+// datasets), import external data with ImportCSV, or reload one with
+// Load. Open indexes a Network into a DB; OpenSnapshot restores a DB
+// from a file written by DB.Snapshot, skipping index construction.
+//
+// A DB answers queries with Query and QueryTopK; the Ctx variants add
+// cooperative cancellation and deadlines, and Query.Budget caps the
+// work a single query may spend (exceeding it returns the best answer
+// found, flagged Answer.Truncated — possibly suboptimal, never wrong).
+// A DB is safe for concurrent use: queries run in parallel and dynamic
+// updates (AddPOI, AddUser, AddFriendship, Compact) serialize against
+// them (docs/CONCURRENCY.md). DB.Health reports the active distance
+// oracle and any degradation.
+//
+// # Error contract
+//
+// Every error returned by the public API matches exactly one of the
+// sentinels ErrInvalidInput, ErrNoAnswer, ErrCancelled,
+// ErrDeadlineExceeded, ErrSnapshotCorrupt, or ErrInternal via
+// errors.Is, so callers branch on failure class without string
+// matching; inspect structured detail (SnapshotError, InternalError)
+// with errors.As. The full taxonomy, and the guarantee that a DB never
+// panics the caller's process and never serves a wrong answer, is
+// docs/ROBUSTNESS.md. The HTTP serving layer (cmd/gpssn-serve,
+// docs/SERVING.md) maps this contract one-to-one onto status codes.
 package gpssn
 
 import (
@@ -557,7 +583,7 @@ func (db *DB) QueryCtx(ctx context.Context, user int, q Query) (ans *Answer, st 
 	res, raw, err := db.engine.QueryCtx(ctx, socialnet.UserID(user), q.params())
 	st = statsFrom(raw)
 	if err != nil {
-		return nil, st, err
+		return nil, st, engineErr(err)
 	}
 	if !res.Found {
 		if !raw.Truncated {
@@ -604,7 +630,7 @@ func (db *DB) QueryTopKCtx(ctx context.Context, user int, q Query, k int) (answe
 	results, raw, err := db.engine.QueryTopKCtx(ctx, socialnet.UserID(user), q.params(), k)
 	st = statsFrom(raw)
 	if err != nil {
-		return nil, st, err
+		return nil, st, engineErr(err)
 	}
 	answers = make([]Answer, 0, len(results))
 	for _, res := range results {

@@ -56,10 +56,20 @@ type Experiment struct {
 	Run         func(w io.Writer, cfg RunConfig) error
 }
 
+// registered holds experiments contributed from outside this package.
+// The serving load generator lives in internal/serve (it drives the
+// public gpssn facade, which this package must not import — the root
+// package's tests import bench), and cmd/gpssn-bench registers it here.
+var registered []Experiment
+
+// Register appends an externally defined experiment to the registry.
+// Call it before Experiments/Find; not safe for concurrent use.
+func Register(e Experiment) { registered = append(registered, e) }
+
 // Experiments returns the registry of all reproducible tables and figures,
-// in presentation order.
+// in presentation order, followed by any Register-ed extras.
 func Experiments() []Experiment {
-	return []Experiment{
+	return append([]Experiment{
 		{"table2", "Table 2: dataset statistics", runTable2},
 		{"fig7a", "Fig 7(a): index-level vs object-level pruning power", runFig7a},
 		{"fig7b", "Fig 7(b): user pruning breakdown on social networks", runFig7b},
@@ -85,7 +95,7 @@ func Experiments() []Experiment {
 		{"ext-metrics", "Extension: Jaccard/Hamming interest metrics", runExtMetrics},
 		{"ext-topk", "Extension: top-k GP-SSN", runExtTopK},
 		{"parallel", "Extension: parallel refinement speedup vs worker count", runParallel},
-	}
+	}, registered...)
 }
 
 // Find returns the experiment with the given name.

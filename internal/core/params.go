@@ -1,9 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrInvalidParams is matched (errors.Is) by every Validate rejection, so
+// the facade can lift parameter errors into its public ErrInvalidInput
+// instead of misclassifying them as internal failures.
+var ErrInvalidParams = errors.New("core: invalid parameters")
 
 // Params are the GP-SSN query parameters of Definition 5 and Table 3.
 type Params struct {
@@ -38,27 +44,27 @@ func DefaultParams() Params {
 // [rmin, rmax] for the radius.
 func (p Params) Validate(rmin, rmax float64) error {
 	if p.Tau < 1 {
-		return fmt.Errorf("core: tau must be >= 1, got %d", p.Tau)
+		return fmt.Errorf("%w: tau must be >= 1, got %d", ErrInvalidParams, p.Tau)
 	}
 	// NaN comparisons are false both ways, so the thresholds are checked
 	// with negated >= forms: a NaN gamma/theta/r must be rejected here, not
 	// silently disable every pruning rule downstream.
 	if !(p.Gamma >= 0) {
-		return fmt.Errorf("core: gamma must be >= 0, got %v", p.Gamma)
+		return fmt.Errorf("%w: gamma must be >= 0, got %v", ErrInvalidParams, p.Gamma)
 	}
 	if !(p.Theta >= 0) {
-		return fmt.Errorf("core: theta must be >= 0, got %v", p.Theta)
+		return fmt.Errorf("%w: theta must be >= 0, got %v", ErrInvalidParams, p.Theta)
 	}
 	if !(p.R > 0) || math.IsInf(p.R, 1) {
-		return fmt.Errorf("core: r must be a finite positive value, got %v", p.R)
+		return fmt.Errorf("%w: r must be a finite positive value, got %v", ErrInvalidParams, p.R)
 	}
 	if p.R < rmin || p.R > rmax {
-		return fmt.Errorf("core: r=%v outside the index build range [%v, %v]", p.R, rmin, rmax)
+		return fmt.Errorf("%w: r=%v outside the index build range [%v, %v]", ErrInvalidParams, p.R, rmin, rmax)
 	}
 	switch p.Metric {
 	case MetricDotProduct, MetricJaccard, MetricHamming:
 	default:
-		return fmt.Errorf("core: unknown interest metric %d", int(p.Metric))
+		return fmt.Errorf("%w: unknown interest metric %d", ErrInvalidParams, int(p.Metric))
 	}
 	return nil
 }

@@ -16,6 +16,11 @@
 // attachment-distance shapes, and a PHAST sweep for full distance arrays.
 // All query state is pooled and epoch-stamped, so the oracle is safe for
 // concurrent use by parallel refinement workers.
+//
+// Package hl extracts hub labels from a built Oracle for even faster
+// point-to-point distances; the facade's fallback chain (hl → ch →
+// dijkstra, docs/ROBUSTNESS.md §6) degrades through this package when
+// label extraction is unavailable.
 package ch
 
 import (

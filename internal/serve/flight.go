@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightResult is the fully rendered outcome of one coalesced execution:
+// the HTTP status plus the exact response bytes. Sharing rendered bytes —
+// not Answer structs — guarantees every waiter of a coalesced call
+// receives a byte-identical response, which is what the serve_test.go
+// singleflight gate asserts.
+type flightResult struct {
+	status   int
+	body     []byte
+	executed bool // the engine actually ran (false for shed/panic paths)
+}
+
+// call is one in-flight coalesced execution. waiters counts the requests
+// currently blocked on done; when the last one abandons (client gone), the
+// execution context is cancelled so the engine aborts work nobody wants.
+type call struct {
+	done    chan struct{}
+	res     flightResult
+	waiters int // guarded by flight.mu
+	cancel  context.CancelFunc
+}
+
+// flight is the request-coalescing (singleflight) layer in front of the
+// answer cache: concurrent requests that map to the same key share one
+// execution and receive identical bytes. Unlike the classic singleflight,
+// the shared execution runs under its own context, detached from any one
+// request: it is cancelled only when every waiter has gone away, so a
+// single impatient client cannot fail the queries of the others, and a
+// popular query keeps running (and lands in the answer cache) as long as
+// anyone still wants it.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+func newFlight() *flight {
+	return &flight{calls: map[string]*call{}}
+}
+
+// do coalesces executions of fn by key. The first caller for a key becomes
+// the leader: fn runs once in its own goroutine under a fresh context
+// carrying timeout (0 = none). Every caller — leader included — blocks
+// until the shared execution completes or its own waiterCtx is done.
+//
+// Returns the shared result, whether this caller joined an execution
+// started by an earlier request (coalesced), and whether the result is
+// valid (false when waiterCtx fired first; the caller's client is gone and
+// nothing useful can be written).
+func (f *flight) do(key string, waiterCtx context.Context, timeout time.Duration,
+	fn func(ctx context.Context) flightResult) (res flightResult, coalesced, ok bool) {
+
+	f.mu.Lock()
+	if c, exists := f.calls[key]; exists {
+		c.waiters++
+		f.mu.Unlock()
+		return f.wait(key, c, waiterCtx, true)
+	}
+
+	execCtx, cancel := context.WithCancel(context.Background())
+	if timeout > 0 {
+		execCtx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	go func() {
+		res := fn(execCtx)
+		f.mu.Lock()
+		c.res = res
+		if f.calls[key] == c {
+			delete(f.calls, key)
+		}
+		f.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	return f.wait(key, c, waiterCtx, false)
+}
+
+// wait blocks on the shared call until it completes or the waiter's own
+// context fires. An abandoning waiter decrements the refcount; the last
+// one out cancels the execution and unlinks the call so a later identical
+// request starts fresh instead of joining a dying one.
+func (f *flight) wait(key string, c *call, waiterCtx context.Context, coalesced bool) (flightResult, bool, bool) {
+	select {
+	case <-c.done:
+		return c.res, coalesced, true
+	case <-waiterCtx.Done():
+		f.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.cancel()
+			if f.calls[key] == c {
+				delete(f.calls, key)
+			}
+		}
+		f.mu.Unlock()
+		return flightResult{}, coalesced, false
+	}
+}
+
+// pending reports the number of waiters currently blocked on key's call
+// (0 when no call is in flight). Tests use it to deterministically gate an
+// execution until every concurrent request has joined.
+func (f *flight) pending(key string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpssn"
+	"gpssn/internal/bench"
+)
+
+// This file is the `-exp serve` load generator: it stands up a real
+// gpssn-serve pipeline (Server + net/http over TCP loopback) on a
+// generated dataset and drives it with a large population of concurrent
+// clients issuing a zipf-skewed query mix — the bursty, highly
+// overlapping workload the ROADMAP's group-planning scenario predicts —
+// then reports client-observed latency percentiles, throughput, shed
+// rate, and the coalescing/caching win. With RunConfig.JSONOut set the
+// numbers are also written as JSON (the committed BENCH_serve.json).
+//
+// It lives in package serve rather than internal/bench because it drives
+// the public gpssn facade, which internal/bench must not import (the root
+// package's own tests import internal/bench); cmd/gpssn-bench registers
+// it via bench.Register.
+
+// LoadExperiment returns the "serve" experiment for bench.Register.
+func LoadExperiment() bench.Experiment {
+	return bench.Experiment{
+		Name:        "serve",
+		Description: "Serving: concurrent zipf-skewed clients vs gpssn-serve (p50/p99, throughput, shed + coalesce rates, JSON-capable)",
+		Run:         runServeLoad,
+	}
+}
+
+// serveReport is the JSON payload written to RunConfig.JSONOut
+// (BENCH_serve.json).
+type serveReport struct {
+	Scale        float64 `json:"scale"`
+	Seed         int64   `json:"seed"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Users        int     `json:"users"`
+	RoadVertices int     `json:"road_vertices"`
+	POIs         int     `json:"pois"`
+
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests_total"` // logical queries (tickets)
+	Attempts    int64   `json:"attempts_total"` // HTTP requests incl. shed retries
+	MaxInFlight int     `json:"max_in_flight"`
+	DurationMs  float64 `json:"duration_ms"`
+
+	ThroughputRPS float64 `json:"throughput_rps"` // completed answers (200/404) per second
+	P50Ms         float64 `json:"latency_p50_ms"` // over completed answers, incl. retry backoff
+	P90Ms         float64 `json:"latency_p90_ms"`
+	P99Ms         float64 `json:"latency_p99_ms"`
+
+	ShedRate     float64 `json:"shed_rate"`         // 429s / HTTP attempts
+	CoalesceRate float64 `json:"coalesce_hit_rate"` // coalesced / HTTP attempts
+	CacheHitRate float64 `json:"cache_hit_rate"`    // answer-cache hits / executions
+	FoundRate    float64 `json:"found_rate"`        // found / completed answers
+
+	StatusCounts map[string]int64 `json:"status_counts"`
+	Server       metricsSnapshot  `json:"server_statsz"`
+}
+
+// loadShape is one query shape of the mix; weights skew the draw so a few
+// shapes dominate, the way production query traffic repeats itself.
+type loadShape struct {
+	body   func(user int) string
+	weight int
+}
+
+func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.1
+	}
+	const (
+		clients  = 1000
+		requests = 8000
+	)
+	maxInFlight := 8 * runtime.GOMAXPROCS(0)
+
+	// Dataset: the paper's UNI sizes at cfg.Scale, served the way
+	// production would — answer cache on, hl oracle.
+	scaled := func(base int) int {
+		v := int(math.Round(float64(base) * cfg.Scale))
+		if v < 20 {
+			v = 20
+		}
+		return v
+	}
+	netw, err := gpssn.GenerateSynthetic(gpssn.SyntheticOptions{
+		Name: "serve-load", Seed: cfg.Seed,
+		RoadVertices: scaled(30000), Users: scaled(30000), POIs: scaled(10000),
+	})
+	if err != nil {
+		return err
+	}
+	db, err := gpssn.Open(netw, gpssn.Config{CacheSize: 4096, Parallelism: 1})
+	if err != nil {
+		return err
+	}
+	users := netw.NumUsers()
+
+	srv := New(db, Config{MaxInFlight: maxInFlight, MaxTimeout: 30 * time.Second})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String() + "/v1/query"
+
+	// The query mix: four shapes, heavily weighted toward one default
+	// shape, over zipf-popular issuers — maximal overlap, like a city's
+	// worth of users planning around the same hotspots.
+	shape := func(tau int, gamma, theta, r float64) func(int) string {
+		return func(user int) string {
+			return fmt.Sprintf(`{"user":%d,"group_size":%d,"gamma":%g,"theta":%g,"radius":%g}`,
+				user, tau, gamma, theta, r)
+		}
+	}
+	shapes := []loadShape{
+		{shape(5, 0.5, 0.5, 2), 8},
+		{shape(3, 0.5, 0.5, 1), 4},
+		{shape(5, 0.3, 0.5, 2), 2},
+		{shape(7, 0.5, 0.7, 3), 1},
+	}
+	var weighted []int
+	for i, s := range shapes {
+		for j := 0; j < s.weight; j++ {
+			weighted = append(weighted, i)
+		}
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}
+	client := &http.Client{Transport: transport}
+
+	var (
+		next      atomic.Int64 // global ticket: one per logical query
+		attempts  atomic.Int64 // HTTP requests, including shed retries
+		mu        sync.Mutex
+		latencies []float64 // ms, first attempt → final answer
+		statuses  = map[string]int64{}
+		found     int64
+	)
+	record := func(status int, ms float64, f bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		statuses[fmt.Sprint(status)]++
+		if status == http.StatusOK || status == http.StatusNotFound {
+			latencies = append(latencies, ms)
+			if f {
+				found++
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			// Zipf over issuers: a few hotspot users dominate.
+			zipf := rand.NewZipf(rng, 1.3, 8, uint64(users-1))
+			for {
+				if next.Add(1) > requests {
+					return
+				}
+				user := int(zipf.Uint64())
+				body := shapes[weighted[rng.Intn(len(weighted))]].body(user)
+				t0 := time.Now()
+				// One logical query: a shed (429) is retried with jittered
+				// exponential backoff, the well-behaved-client protocol
+				// docs/SERVING.md prescribes; latency is first-attempt to
+				// final answer.
+				backoff := 4 * time.Millisecond
+				for {
+					attempts.Add(1)
+					resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+					if err != nil {
+						record(0, 0, false)
+						break
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						mu.Lock()
+						statuses["429"]++
+						mu.Unlock()
+						time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+						if backoff < 512*time.Millisecond {
+							backoff *= 2
+						}
+						continue
+					}
+					f := false
+					if resp.StatusCode == http.StatusOK {
+						var qr queryResponse
+						if json.Unmarshal(b, &qr) == nil {
+							f = qr.Found
+						}
+					}
+					record(resp.StatusCode, float64(time.Since(t0).Microseconds())/1000, f)
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := &srv.met
+	snap := metricsSnapshot{
+		Requests:  m.Requests.Load(),
+		Executed:  m.Executed.Load(),
+		Coalesced: m.Coalesced.Load(),
+		CacheHits: m.CacheHits.Load(),
+		Shed:      m.Shed.Load(),
+		Found:     m.Found.Load(),
+		NoAnswer:  m.NoAnswer.Load(),
+		Errors:      m.Errors.Load(),
+		UptimeMs:    elapsed.Milliseconds(),
+		MaxInFlight: maxInFlight,
+	}
+
+	sort.Float64s(latencies)
+	rpt := serveReport{
+		Scale: cfg.Scale, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Users: users, RoadVertices: netw.NumIntersections(), POIs: netw.NumPOIs(),
+		Clients: clients, Requests: requests, Attempts: attempts.Load(), MaxInFlight: maxInFlight,
+		DurationMs:    float64(elapsed.Microseconds()) / 1000,
+		ThroughputRPS: float64(len(latencies)) / elapsed.Seconds(),
+		P50Ms:         percentile(latencies, 0.50),
+		P90Ms:         percentile(latencies, 0.90),
+		P99Ms:         percentile(latencies, 0.99),
+		ShedRate:      rate(snap.Shed, attempts.Load()),
+		CoalesceRate:  rate(snap.Coalesced, attempts.Load()),
+		CacheHitRate:  rate(snap.CacheHits, snap.Executed),
+		FoundRate:     rate(found, int64(len(latencies))),
+		StatusCounts:  statuses,
+		Server:        snap,
+	}
+
+	fmt.Fprintf(w, "# Serving: %d clients, %d queries (%d HTTP attempts), zipf-skewed mix, max-inflight %d (GOMAXPROCS=%d)\n",
+		clients, requests, rpt.Attempts, maxInFlight, rpt.GOMAXPROCS)
+	fmt.Fprintf(w, "dataset: UNI scale %.2f (%d users, %d road vertices, %d POIs)\n",
+		cfg.Scale, rpt.Users, rpt.RoadVertices, rpt.POIs)
+	fmt.Fprintf(w, "%-22s %12s\n", "metric", "value")
+	fmt.Fprintf(w, "%-22s %11.0f/s\n", "throughput (answers)", rpt.ThroughputRPS)
+	fmt.Fprintf(w, "%-22s %10.2fms\n", "latency p50", rpt.P50Ms)
+	fmt.Fprintf(w, "%-22s %10.2fms\n", "latency p90", rpt.P90Ms)
+	fmt.Fprintf(w, "%-22s %10.2fms\n", "latency p99", rpt.P99Ms)
+	fmt.Fprintf(w, "%-22s %11.1f%%\n", "shed rate (429)", 100*rpt.ShedRate)
+	fmt.Fprintf(w, "%-22s %11.1f%%\n", "coalesce hit rate", 100*rpt.CoalesceRate)
+	fmt.Fprintf(w, "%-22s %11.1f%%\n", "answer-cache hit rate", 100*rpt.CacheHitRate)
+	fmt.Fprintf(w, "%-22s %11.1f%%\n", "found rate", 100*rpt.FoundRate)
+	fmt.Fprintf(w, "%-22s %12d\n", "engine executions", snap.Executed)
+	fmt.Fprintf(w, "status counts: %v\n", statuses)
+	fmt.Fprintln(w, "# every answered request did exact work or shared/cached the identical exact answer;")
+	fmt.Fprintln(w, "# shed requests got 429 + Retry-After instead of queueing without bound")
+
+	if cfg.JSONOut != "" {
+		b, err := json.MarshalIndent(rpt, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# JSON report written to %s\n", cfg.JSONOut)
+	}
+	return nil
+}
+
+// percentile returns the p-quantile of sorted ms latencies (0 when empty).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func rate(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

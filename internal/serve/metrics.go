@@ -1,0 +1,53 @@
+package serve
+
+import "sync/atomic"
+
+// metrics is the server's atomic counter set, exposed as JSON by GET
+// /statsz (see docs/SERVING.md for the meaning and intended use of each
+// counter). All fields are monotonic except InFlight, a gauge.
+type metrics struct {
+	// Requests counts every query-endpoint request accepted for parsing
+	// (health and stats probes are not counted).
+	Requests atomic.Int64
+	// Executed counts engine executions: requests that actually ran
+	// Query/QueryTopK rather than joining an in-flight twin or being
+	// rejected. The coalescing win is Coalesced/(Executed+Coalesced).
+	Executed atomic.Int64
+	// Coalesced counts requests answered by joining another request's
+	// in-flight execution (they performed no engine work).
+	Coalesced atomic.Int64
+	// CacheHits counts executions answered from the answer cache.
+	CacheHits atomic.Int64
+	// Shed counts requests rejected 429 by admission control.
+	Shed atomic.Int64
+	// DrainRejected counts requests rejected 503 while draining.
+	DrainRejected atomic.Int64
+	// Found / NoAnswer split completed single-answer queries by outcome.
+	Found, NoAnswer atomic.Int64
+	// ClientGone counts requests whose client disconnected before their
+	// (possibly shared) execution completed; nothing was written.
+	ClientGone atomic.Int64
+	// Errors counts responses with status >= 400 other than 404/429/503
+	// rejections counted above: invalid input, timeouts, internal errors.
+	Errors atomic.Int64
+	// InFlight is the number of admission slots currently held.
+	InFlight atomic.Int64
+}
+
+// metricsSnapshot is the JSON shape of GET /statsz.
+type metricsSnapshot struct {
+	UptimeMs      int64 `json:"uptime_ms"`
+	Requests      int64 `json:"requests_total"`
+	Executed      int64 `json:"executed_total"`
+	Coalesced     int64 `json:"coalesced_total"`
+	CacheHits     int64 `json:"cache_hits_total"`
+	Shed          int64 `json:"shed_total"`
+	DrainRejected int64 `json:"drain_rejected_total"`
+	Found         int64 `json:"found_total"`
+	NoAnswer      int64 `json:"no_answer_total"`
+	ClientGone    int64 `json:"client_gone_total"`
+	Errors        int64 `json:"errors_total"`
+	InFlight      int64 `json:"in_flight"`
+	MaxInFlight   int   `json:"max_in_flight"`
+	Draining      bool  `json:"draining"`
+}

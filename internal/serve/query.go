@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gpssn"
+)
+
+// maxBodyBytes bounds a request body; a query request is a few hundred
+// bytes, so 1 MiB is generous and keeps hostile bodies cheap.
+const maxBodyBytes = 1 << 20
+
+// StatusClientClosedRequest is the (nginx-convention) status recorded for
+// queries aborted because the issuing client disconnected. It can only
+// appear inside a coalesced response shared with surviving waiters, since
+// a fully abandoned execution has nobody left to write to.
+const StatusClientClosedRequest = 499
+
+// queryRequest is the JSON body of POST /v1/query and /v1/topk. The
+// schema (and every default) is documented in docs/SERVING.md.
+type queryRequest struct {
+	// User is the query issuer's id.
+	User int `json:"user"`
+	// GroupSize, Gamma, Theta, Radius are the GP-SSN parameters τ, γ, θ, r.
+	GroupSize int     `json:"group_size"`
+	Gamma     float64 `json:"gamma"`
+	Theta     float64 `json:"theta"`
+	Radius    float64 `json:"radius"`
+	// Metric is "dot" (default), "jaccard" or "hamming".
+	Metric string `json:"metric,omitempty"`
+	// K is the answer count for /v1/topk (default 1 there; rejected on
+	// /v1/query).
+	K int `json:"k,omitempty"`
+	// TimeoutMs is this request's deadline in milliseconds; 0 inherits the
+	// server's default-timeout knob. The effective deadline is always
+	// capped by the server's max-timeout knob.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Budget caps the work the query may spend; exceeding it degrades
+	// gracefully to a truncated (flagged, never wrong) answer.
+	Budget budgetJSON `json:"budget,omitempty"`
+}
+
+type budgetJSON struct {
+	MaxSettledVertices int64 `json:"max_settled_vertices,omitempty"`
+	MaxRefinedAnchors  int   `json:"max_refined_anchors,omitempty"`
+}
+
+// parseRequest decodes and shape-checks a query body. Value errors (bad
+// user id, non-positive radius, ...) are left to the library's own
+// ErrInvalidInput validation so the two layers cannot disagree; only
+// JSON-level problems are rejected here.
+func parseRequest(w http.ResponseWriter, r *http.Request, topk bool) (*queryRequest, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req queryRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request body: %v", err)
+	}
+	if dec.More() {
+		return nil, errors.New("request body holds more than one JSON object")
+	}
+	io.Copy(io.Discard, r.Body)
+	switch req.Metric {
+	case "", "dot", "jaccard", "hamming":
+	default:
+		return nil, fmt.Errorf("unknown metric %q (want \"dot\", \"jaccard\" or \"hamming\")", req.Metric)
+	}
+	if req.TimeoutMs < 0 {
+		return nil, fmt.Errorf("timeout_ms %d must be non-negative", req.TimeoutMs)
+	}
+	if !topk {
+		if req.K != 0 {
+			return nil, errors.New("field k is only valid on /v1/topk")
+		}
+	} else {
+		if req.K == 0 {
+			req.K = 1
+		}
+		if req.K < 1 {
+			return nil, fmt.Errorf("k %d must be >= 1", req.K)
+		}
+	}
+	return &req, nil
+}
+
+// query maps the wire request onto the library's Query.
+func (r *queryRequest) query() gpssn.Query {
+	m := gpssn.DotProduct
+	switch r.Metric {
+	case "jaccard":
+		m = gpssn.Jaccard
+	case "hamming":
+		m = gpssn.Hamming
+	}
+	return gpssn.Query{
+		GroupSize: r.GroupSize,
+		Gamma:     r.Gamma,
+		Theta:     r.Theta,
+		Radius:    r.Radius,
+		Metric:    m,
+		Budget: gpssn.Budget{
+			MaxSettledVertices: r.Budget.MaxSettledVertices,
+			MaxRefinedAnchors:  r.Budget.MaxRefinedAnchors,
+		},
+	}
+}
+
+// flightKey canonicalizes everything that makes two requests "the same
+// query" for coalescing: endpoint, issuer, all query parameters, budget,
+// k, and the effective timeout. It deliberately mirrors the answer
+// cache's key (user, query incl. budget, k) plus the timeout — two
+// requests with different deadlines must not share a fate, or a short
+// deadline would 504 a patient twin.
+func (r *queryRequest) flightKey(topk bool, timeout time.Duration) string {
+	ep := "query"
+	if topk {
+		ep = "topk"
+	}
+	return fmt.Sprintf("%s|u=%d|tau=%d|g=%v|t=%v|r=%v|m=%s|k=%d|bv=%d|ba=%d|to=%d",
+		ep, r.User, r.GroupSize, r.Gamma, r.Theta, r.Radius, r.Metric, r.K,
+		r.Budget.MaxSettledVertices, r.Budget.MaxRefinedAnchors, int64(timeout))
+}
+
+// errorResponse is the uniform error envelope: a human-readable message
+// plus a stable machine-readable code (see the table in docs/SERVING.md).
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// wireAnswer is the JSON shape of one GP-SSN answer.
+type wireAnswer struct {
+	Users       []int   `json:"users"`
+	POIs        []int   `json:"pois"`
+	Anchor      int     `json:"anchor"`
+	MaxDistance float64 `json:"max_distance"`
+	Truncated   bool    `json:"truncated,omitempty"`
+}
+
+// wireStats is the JSON shape of per-query cost stats. For a coalesced
+// response these are the stats of the one shared execution.
+type wireStats struct {
+	CPUMicros        int64 `json:"cpu_us"`
+	PageReads        int64 `json:"page_reads"`
+	CandidateUsers   int   `json:"candidate_users"`
+	CandidateAnchors int   `json:"candidate_anchors"`
+	CacheHit         bool  `json:"cache_hit,omitempty"`
+}
+
+type queryResponse struct {
+	Found  bool       `json:"found"`
+	Answer wireAnswer `json:"answer"`
+	Stats  wireStats  `json:"stats"`
+}
+
+type topKResponse struct {
+	Answers []wireAnswer `json:"answers"`
+	Stats   wireStats    `json:"stats"`
+}
+
+func answerJSON(a gpssn.Answer) wireAnswer {
+	users, pois := a.Users, a.POIs
+	if users == nil {
+		users = []int{}
+	}
+	if pois == nil {
+		pois = []int{}
+	}
+	return wireAnswer{
+		Users: users, POIs: pois,
+		Anchor: a.Anchor, MaxDistance: a.MaxDistance, Truncated: a.Truncated,
+	}
+}
+
+func answersJSON(as []gpssn.Answer) []wireAnswer {
+	out := make([]wireAnswer, 0, len(as))
+	for _, a := range as {
+		out = append(out, answerJSON(a))
+	}
+	return out
+}
+
+func statsJSON(st *gpssn.Stats) wireStats {
+	if st == nil {
+		return wireStats{}
+	}
+	return wireStats{
+		CPUMicros:        st.CPUTime.Microseconds(),
+		PageReads:        st.PageReads,
+		CandidateUsers:   st.CandidateUsers,
+		CandidateAnchors: st.CandidateAnchors,
+		CacheHit:         st.CacheHit,
+	}
+}
+
+func isNoAnswer(err error) bool { return errors.Is(err, gpssn.ErrNoAnswer) }
+
+// statusFor translates the library's typed error contract into HTTP. The
+// order matters only for clarity — the sentinels are mutually exclusive
+// (every library error matches exactly one; see docs/ROBUSTNESS.md §1).
+func statusFor(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, gpssn.ErrInvalidInput):
+		return http.StatusBadRequest, "invalid_input"
+	case errors.Is(err, gpssn.ErrNoAnswer):
+		return http.StatusNotFound, "no_answer"
+	case errors.Is(err, gpssn.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, gpssn.ErrCancelled):
+		return StatusClientClosedRequest, "cancelled"
+	default:
+		// ErrInternal and anything unforeseen: the server's fault.
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// renderQueryError renders a library error into shareable bytes.
+func renderQueryError(err error) flightResult {
+	status, code := statusFor(err)
+	msg := err.Error()
+	if status == http.StatusInternalServerError {
+		// Internal errors carry a stack trace; that belongs in server
+		// logs (Config.Logf), not on the wire.
+		msg = "internal error answering the query"
+	}
+	res := renderError(status, code, msg)
+	res.executed = true
+	return res
+}
+
+// renderJSON marshals a response body once, for sharing across every
+// coalesced waiter.
+func renderJSON(status int, v any) flightResult {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Marshalling our own value types cannot fail; treat it as internal.
+		return renderError(http.StatusInternalServerError, "internal", "encoding response")
+	}
+	return flightResult{status: status, body: append(b, '\n'), executed: true}
+}
+
+func renderError(status int, code, msg string) flightResult {
+	b, _ := json.Marshal(errorResponse{Error: msg, Code: code})
+	return flightResult{status: status, body: append(b, '\n')}
+}

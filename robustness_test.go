@@ -34,6 +34,11 @@ func TestInvalidInputTyped(t *testing.T) {
 		"NaN theta":       {0, Query{GroupSize: 2, Gamma: 0.3, Theta: nan, Radius: 2}},
 		"negative budget": {0, Query{GroupSize: 2, Gamma: 0.3, Theta: 0.4, Radius: 2,
 			Budget: Budget{MaxRefinedAnchors: -1}}},
+		// The engine's own rejection (r outside the index build range
+		// [RMin, RMax]) must come back typed too, not as an untyped error
+		// that downstream layers misclassify as internal.
+		"radius above RMax": {0, Query{GroupSize: 2, Gamma: 0.3, Theta: 0.4, Radius: 99}},
+		"radius below RMin": {0, Query{GroupSize: 2, Gamma: 0.3, Theta: 0.4, Radius: 0.01}},
 	}
 	for name, tc := range queryCases {
 		if _, _, err := db.Query(tc.user, tc.q); !errors.Is(err, ErrInvalidInput) {
