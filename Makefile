@@ -76,7 +76,9 @@ bench-smoke:
 
 # The serving load test: 1000 concurrent zipf-skewed clients against an
 # in-process gpssn-serve over loopback TCP; reports p50/p99 latency,
-# throughput, shed rate and the coalescing/caching win (BENCH_serve.json,
-# recorded in docs/SERVING.md).
+# throughput, shed rate and the coalescing/caching win. -compare drives
+# the same load twice — shared-work memo off (BENCH_serve_nomemo.json)
+# then on (BENCH_serve.json) — so the two reports are a before/after pair
+# for the cross-query batching layer (recorded in docs/SERVING.md).
 bench-serve:
-	$(GO) run ./cmd/gpssn-bench -exp serve -scale 0.05 -jsonout BENCH_serve.json
+	$(GO) run ./cmd/gpssn-bench -exp serve -scale 0.05 -warmup 1000 -compare -jsonout BENCH_serve.json

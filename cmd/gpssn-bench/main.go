@@ -35,6 +35,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		samples = flag.Int("samples", 20, "Baseline estimator samples (paper: 100)")
 		jsonOut = flag.String("jsonout", "", "file for the JSON report of JSON-capable experiments (e.g. choracle)")
+		warmup  = flag.Int("warmup", 0, "serve: leading requests excluded from latency percentiles")
+		compare = flag.Bool("compare", false, "serve: run memo-off then memo-on over the same seed and report both")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -48,7 +50,7 @@ func main() {
 
 	cfg := bench.RunConfig{
 		Scale: *scale, Queries: *queries, Seed: *seed, BaselineSamples: *samples,
-		JSONOut: *jsonOut,
+		JSONOut: *jsonOut, Warmup: *warmup, Compare: *compare,
 	}
 	run := func(e bench.Experiment) error {
 		start := time.Now()

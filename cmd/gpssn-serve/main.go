@@ -48,6 +48,8 @@ func main() {
 		maxTO    = flag.Duration("max-timeout", 30*time.Second, "cap on every request's effective deadline (0 = none)")
 		retry    = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before exiting anyway")
+		gather   = flag.Duration("gather-window", time.Millisecond, "hold each query up to this long so overlapping requests fold into one shared ball/sweep pass (0 disables)")
+		noShared = flag.Bool("no-shared-work", false, "disable the cross-query shared-work memo (answers are identical either way; for A/B measurement)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "gpssn-serve: ", log.LstdFlags)
@@ -62,6 +64,7 @@ func main() {
 	cfg.StrictOracle = *strict
 	cfg.CacheSize = *cache
 	cfg.Parallelism = *par
+	cfg.DisableSharedWork = *noShared
 	cfg.Logf = logger.Printf
 
 	db, err := openDB(*data, *snapIn, cfg)
@@ -79,6 +82,7 @@ func main() {
 		DefaultTimeout: *defTO,
 		MaxTimeout:     *maxTO,
 		RetryAfter:     *retry,
+		GatherWindow:   *gather,
 		Logf:           logger.Printf,
 	})
 	httpSrv := &http.Server{

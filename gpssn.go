@@ -151,6 +151,13 @@ type Config struct {
 	// DistanceOracle cannot be built, instead of serving degraded through
 	// the fallback chain.
 	StrictOracle bool
+	// DisableSharedWork turns off the cross-query shared-work memo
+	// (anchor balls and per-user sweep state computed once and shared
+	// across concurrent queries — docs/CONCURRENCY.md §6). On by default
+	// because answers are bit-identical either way; disabling it is
+	// mainly useful for A/B measurement (make bench-serve does exactly
+	// that) and for memory-constrained embedders.
+	DisableSharedWork bool
 	// Logf, when set, receives diagnostic log lines (oracle fallbacks,
 	// snapshot-recovery notes). nil discards them; the same information is
 	// always available from Health().
@@ -339,6 +346,22 @@ func (db *DB) Health() Health {
 	return h
 }
 
+// SharedWorkStats is a snapshot of the cross-query shared-work memo
+// counters (ball-memo hits/misses/evictions, sweep-memo occupancy, the
+// road-data version observed by invalidation). Zero-valued with Enabled
+// false when Config.DisableSharedWork is set. gpssn-serve surfaces it
+// under /statsz.
+type SharedWorkStats = core.SharedWorkStats
+
+// SharedWorkStats snapshots the shared-work memo. Safe to call
+// concurrently with queries and updates; counters reset on Compact (the
+// rebuilt engine starts with an empty memo).
+func (db *DB) SharedWorkStats() SharedWorkStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.SharedWorkStats()
+}
+
 // oracleChain returns the fallback order for a requested backend, or nil
 // for an unknown one. Plain Dijkstra terminates every chain: it needs no
 // preprocessing, so it cannot fail to build.
@@ -461,6 +484,7 @@ func buildDB(net *Network, c Config) (*DB, error) {
 		SamplingRefine: c.Sampling,
 		UseCorollary2:  c.Corollary2,
 		Parallelism:    c.Parallelism,
+		SharedWork:     !c.DisableSharedWork,
 	})
 	return &DB{
 		net: net, engine: engine, cfg: c,

@@ -29,6 +29,14 @@ type RunConfig struct {
 	// support machine-readable output (currently choracle) also write a
 	// JSON report. Stdout carries the human tables either way.
 	JSONOut string
+	// Warmup is the number of leading logical requests excluded from the
+	// serve experiment's latency percentiles, so cold-cache and
+	// oracle-build transients stop skewing p50/p90/p99. Default 0.
+	Warmup int
+	// Compare makes the serve experiment run twice on the same seed and
+	// workload — shared-work memo off, then on — and report both (the
+	// memo-off JSON lands next to JSONOut with a "_nomemo" suffix).
+	Compare bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {

@@ -58,6 +58,11 @@ func (e *Engine) AddPOI(p model.POI) error {
 		}
 	}
 	e.DS.POIs = append(e.DS.POIs, p)
+	// Selective shared-work invalidation: only balls the new POI could
+	// have joined. AddUser/AddFriendship leave the memo alone (balls are
+	// POI-only; sweep state is per-user and immutable) — the
+	// per-update-kind discipline from docs/CONCURRENCY.md §6.
+	e.shared.noteAddPOI(p.Loc)
 	return nil
 }
 

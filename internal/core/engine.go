@@ -54,6 +54,12 @@ type Options struct {
 	// Any setting returns identical answers; see docs/CONCURRENCY.md and
 	// docs/ALGORITHMS.md for the soundness and determinism arguments.
 	Parallelism int
+	// SharedWork enables the cross-query shared-work memo: anchor balls
+	// and per-user sweep state (one-to-all arrays / attachment labels)
+	// are computed once and shared across concurrent queries instead of
+	// once per query. Answers are bit-identical either way; see
+	// docs/CONCURRENCY.md §6 for the invalidation and copy-on-read rules.
+	SharedWork bool
 }
 
 // Engine answers GP-SSN queries over a dataset through the I_R and I_S
@@ -81,6 +87,11 @@ type Engine struct {
 
 	// dyn tracks the main+delta boundaries for dynamic updates.
 	dyn dynamicState
+
+	// shared is the cross-query shared-work memo (nil when
+	// Opts.SharedWork is off). Internally synchronized; invalidated by
+	// the per-update-kind hooks in dynamic.go.
+	shared *sharedWork
 }
 
 // NewEngine wires a dataset with its two indexes.
@@ -89,6 +100,9 @@ func NewEngine(ds *model.Dataset, road *index.RoadIndex, social *index.SocialInd
 		opts.SampleCount = 64
 	}
 	e := &Engine{DS: ds, Road: road, Social: social, Opts: opts}
+	if opts.SharedWork {
+		e.shared = newSharedWork()
+	}
 	e.initDynamic()
 	return e
 }

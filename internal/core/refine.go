@@ -42,7 +42,7 @@ func (e *Engine) probe(uq socialnet.UserID, p Params, q *qctx) probeResult {
 			return
 		}
 		tried[anchor] = true
-		ball := e.ballAround(anchor, p.R, q.ck)
+		ball, tl := e.anchorBall(anchor, p.R, q.ck)
 		if q.ck.Stopped() {
 			return // degenerate ball (see refine's processAnchor)
 		}
@@ -55,7 +55,7 @@ func (e *Engine) probe(uq socialnet.UserID, p Params, q *qctx) probeResult {
 		if MatchScoreSet(uqW, kws) < p.Theta {
 			return
 		}
-		mOf := e.makeMOf(pr.cache, ball, nil, q.ck)
+		mOf := e.makeMOf(pr.cache, ball, tl, nil, q.ck)
 		mUq := mOf(uq)
 		if mUq >= pr.res.MaxDist {
 			return
@@ -365,6 +365,12 @@ func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.Hub
 	if l, ok := c.getLabel(u); ok {
 		return l, false
 	}
+	// Shared sweep memo next: the label is computed once per user across
+	// all concurrent queries and owned by the memo (never pooled), so it
+	// is read-only here just like a cache-owned label.
+	if l, ok := e.sharedUserLabel(u); ok {
+		return l, false
+	}
 	l := roadnet.AcquireLabel()
 	e.DS.Road.AttachLabel(e.DS.Users[u].At, l)
 	if c.putLabel(u, l) {
@@ -391,7 +397,12 @@ func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.Hub
 // pruning). keeper == nil (the probe) means unbounded exact evaluation.
 // The returned closure reuses one output buffer and must not be called
 // concurrently; build one evaluator per worker/anchor.
-func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sharedKeeper, ck *roadnet.Checkpoint) func(socialnet.UserID) float64 {
+//
+// tl, when non-nil, is the ball's prepared target-label set from the
+// shared-work memo (anchorBall); nil means prepare one here. Preparing
+// locally yields the same flattened label set, so the two paths are
+// interchangeable — the memo just skips the rebuild.
+func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, tl *roadnet.TargetLabels, keeper *sharedKeeper, ck *roadnet.Checkpoint) func(socialnet.UserID) float64 {
 	ds := e.DS
 	ballAtts := make([]roadnet.Attach, len(ball))
 	for i, o := range ball {
@@ -403,7 +414,10 @@ func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sha
 		}
 		return keeper.Bound()
 	}
-	if tl := ds.Road.PrepareTargetLabels(ballAtts); tl != nil {
+	if tl == nil {
+		tl = ds.Road.PrepareTargetLabels(ballAtts)
+	}
+	if tl != nil {
 		out := make([]float64, len(ballAtts))
 		return func(u socialnet.UserID) float64 {
 			lbl, pooled := e.userLabel(cache, u)
@@ -440,15 +454,28 @@ func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, keeper *sha
 			}
 			return m
 		}
-		dv, ok := cache.getArray(u)
-		if !ok {
-			dv = e.userVertexDist(u, ck)
-			if !ck.Stopped() {
-				cache.putArray(u, dv)
-			}
-		}
-		return mFromVertexDist(e, u, ball, dv)
+		return mFromVertexDist(e, u, ball, e.userArray(cache, u, ck))
 	}
+}
+
+// userArray returns u's exact one-to-all array through the per-query
+// cache, then the shared sweep memo, falling back to a solo Dijkstra. On
+// a checkpoint trip the result is all-+Inf and is not cached — the
+// userVertexDist discipline, which the memo preserves by charging the
+// metered sweep cost on hits and handing back all-+Inf when that charge
+// trips the budget.
+func (e *Engine) userArray(c *vertexDistCache, u socialnet.UserID, ck *roadnet.Checkpoint) []float64 {
+	if dv, ok := c.getArray(u); ok {
+		return dv
+	}
+	dv, ok := e.sharedUserArray(u, ck)
+	if !ok {
+		dv = e.userVertexDist(u, ck)
+	}
+	if !ck.Stopped() {
+		c.putArray(u, dv)
+	}
+	return dv
 }
 
 // refine is Algorithm 2 lines 29-31: exact filtering of the candidate sets
@@ -524,7 +551,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	var pairs atomic.Int64
 
 	processAnchor := func(ac anchorCand) {
-		ball := e.ballAround(ac.id, p.R, q.ck)
+		ball, tl := e.anchorBall(ac.id, p.R, q.ck)
 		// A trip during ball construction leaves a degenerate ball; cached
 		// exact arrays could still price it finitely, so bail before any
 		// result can be built on the wrong R set.
@@ -543,7 +570,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		// M(u) = max_{o in ball} dist_RN(u, o); the group cost is
 		// max_{u in S} M(u). See makeMOf for the label-kernel and
 		// bound-truncation strategies and their soundness.
-		mOf := e.makeMOf(distCache, ball, keeper, q.ck)
+		mOf := e.makeMOf(distCache, ball, tl, keeper, q.ck)
 		mUq := mOf(uq)
 		// Strict comparison: a cost exactly equal to the bound may still
 		// tie the k-th best and win the canonical tie-break, so it must
@@ -897,14 +924,13 @@ func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchor
 	}
 	uqDist, ok := cache.getArray(uq)
 	if !ok {
-		uqDist = e.userVertexDist(uq, ck)
+		uqDist = e.userArray(cache, uq, ck)
 		if ck.Stopped() {
 			for i := range out {
 				out[i] = math.Inf(1)
 			}
 			return out
 		}
-		cache.putArray(uq, uqDist)
 	}
 	uqAt := ds.Users[uq].At
 	for i, at := range atts {

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gpssn/internal/geo"
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// The shared-work layer memoizes the two expensive building blocks that
+// concurrent queries recompute over and over under load: anchor balls
+// (ballAround + the ball's prepared target labels) and per-user sweep
+// state (one-to-all arrays under plain oracles, attachment hub labels
+// under a label oracle). PR 6's singleflight only coalesces bit-identical
+// requests; this layer shares work between *different* queries that touch
+// the same anchor or user.
+//
+// Ownership and correctness rules (docs/CONCURRENCY.md §6):
+//
+//   - The memo lives on the Engine, so Compact (which builds a fresh
+//     Engine) starts from an empty memo for the rebuilt dataset.
+//   - Entries are built under a fresh metering Checkpoint that never
+//     trips, so a memo entry is always canonical — a budget- or
+//     cancel-tripped query can never poison the memo with a degenerate
+//     ball or an all-+Inf array. The build cost is recorded and charged
+//     to every query that consumes the entry (Checkpoint.Spend), so
+//     budget exhaustion still reflects logical work consumed.
+//   - Ball slices are handed out copy-on-read: refinement sorts result R
+//     sets in place, so sharing the backing array across queries would
+//     race. Target-label sets and one-to-all arrays are read-only by
+//     contract and are shared directly.
+//   - Builds are singleflighted: the first query to miss becomes the
+//     leader and builds outside the memo lock; waiters block on the
+//     entry's done channel. A leader that panics unpublishes the entry
+//     and closes the channel, so waiters fall back to a solo compute and
+//     the panic surfaces through the leader's own query panic boundary.
+//   - Invalidation is per update kind, mirroring the answer cache's
+//     discipline but more selective: AddPOI evicts exactly the balls the
+//     new POI could join (Euclidean prefilter — sound because road
+//     distance never undercuts Euclidean distance, the same argument
+//     EuclidBall and deltaBallMembers rely on) and bumps the road
+//     version. AddUser/AddFriendship don't touch the memo at all: balls
+//     are POI-only, and a user's sweep state depends only on the (frozen)
+//     road topology and their home attachment, neither of which facade
+//     updates can change.
+
+// Capacity bounds for the shared memo. Balls are LRU-evicted; user sweep
+// entries are reject-on-full like the per-query vertexDistCache (the
+// per-query path still works when the memo is full, so occupancy never
+// affects answers). Array bytes are checked up front (the size is known
+// before the sweep runs); labels are tiny and only bounded by the entry
+// cap.
+const (
+	sharedBallMaxEntries  = 4096
+	sharedUserMaxEntries  = 16384
+	sharedUserMaxBytes    = 256 << 20
+	sharedLabelBytesGuess = 512 // accounting estimate before a label is built
+)
+
+type ballKey struct {
+	anchor model.POIID
+	r      float64
+}
+
+// ballEntry is one memoized anchor ball. done is closed when the build
+// finishes (ok true) or is abandoned (ok false); every other field is
+// written once by the leader before the close and read-only afterwards.
+type ballEntry struct {
+	done chan struct{}
+	elem *list.Element // LRU position; guarded by sharedWork.mu
+
+	ball []model.POIID
+	tl   *roadnet.TargetLabels // nil under non-label oracles
+	loc  geo.Point             // anchor location, for selective eviction
+	work int64                 // metered build cost, charged on every hit
+	ok   bool
+}
+
+// userEntry is one memoized per-user sweep: the exact one-to-all array
+// (plain oracles) or the attachment hub label (label oracles). Same
+// write-once-then-close discipline as ballEntry.
+type userEntry struct {
+	done  chan struct{}
+	array []float64
+	label *roadnet.HubLabel // owned by the memo, never pooled
+	work  int64
+	ok    bool
+}
+
+type sharedWork struct {
+	mu      sync.Mutex
+	version uint64 // road-data version; bumped by every AddPOI
+
+	balls   map[ballKey]*ballEntry
+	ballLRU *list.List // front = most recently used; values are ballKey
+
+	users     map[socialnet.UserID]*userEntry
+	userBytes int64
+
+	ballHits, ballMisses, ballEvict   atomic.Int64
+	sweepHits, sweepMisses, sweepFull atomic.Int64
+}
+
+func newSharedWork() *sharedWork {
+	return &sharedWork{
+		balls:   map[ballKey]*ballEntry{},
+		ballLRU: list.New(),
+		users:   map[socialnet.UserID]*userEntry{},
+	}
+}
+
+// SharedWorkStats is a point-in-time snapshot of the memo counters,
+// surfaced through the facade and /statsz.
+type SharedWorkStats struct {
+	Enabled     bool
+	RoadVersion uint64
+
+	BallHits      int64
+	BallMisses    int64
+	BallEvictions int64
+	BallEntries   int
+
+	SweepHits     int64
+	SweepMisses   int64
+	SweepRejected int64
+	SweepEntries  int
+	SweepBytes    int64
+}
+
+// SharedWorkStats snapshots the shared-work memo counters. Zero-valued
+// (Enabled false) when the layer is disabled.
+func (e *Engine) SharedWorkStats() SharedWorkStats {
+	sw := e.shared
+	if sw == nil {
+		return SharedWorkStats{}
+	}
+	st := SharedWorkStats{
+		Enabled:       true,
+		BallHits:      sw.ballHits.Load(),
+		BallMisses:    sw.ballMisses.Load(),
+		BallEvictions: sw.ballEvict.Load(),
+		SweepHits:     sw.sweepHits.Load(),
+		SweepMisses:   sw.sweepMisses.Load(),
+		SweepRejected: sw.sweepFull.Load(),
+	}
+	sw.mu.Lock()
+	st.RoadVersion = sw.version
+	st.BallEntries = len(sw.balls)
+	st.SweepEntries = len(sw.users)
+	st.SweepBytes = sw.userBytes
+	sw.mu.Unlock()
+	return st
+}
+
+// anchorBall returns the ball around anchor (copy-on-read: the caller owns
+// the returned slice) plus the ball's prepared target labels when a label
+// oracle is attached (shared, read-only). With the memo disabled it is a
+// plain ballAround and the labels are nil — callers prepare their own,
+// preserving the pre-memo behavior exactly.
+//
+// Checkpoint discipline matches solo execution: a stopped checkpoint
+// yields the degenerate {anchor} ball (solo ballAround degenerates the
+// same way when every checked distance comes back +Inf), and a memo hit
+// charges the entry's metered build cost, tripping the budget at the same
+// logical work a solo build would have consumed.
+func (e *Engine) anchorBall(anchor model.POIID, radius float64, ck *roadnet.Checkpoint) ([]model.POIID, *roadnet.TargetLabels) {
+	sw := e.shared
+	if sw == nil {
+		return e.ballAround(anchor, radius, ck), nil
+	}
+	if ck.Stopped() {
+		return []model.POIID{anchor}, nil
+	}
+	key := ballKey{anchor: anchor, r: radius}
+
+	sw.mu.Lock()
+	ent, ok := sw.balls[key]
+	if ok {
+		sw.ballLRU.MoveToFront(ent.elem)
+		sw.mu.Unlock()
+		<-ent.done
+		if ent.ok {
+			sw.ballHits.Add(1)
+			if ck.Spend(int(ent.work)) {
+				return []model.POIID{anchor}, nil
+			}
+			return append([]model.POIID(nil), ent.ball...), ent.tl
+		}
+		// The leader abandoned the build (panic unwound through it);
+		// compute solo rather than racing to rebuild.
+		return e.ballAround(anchor, radius, ck), nil
+	}
+	ent = &ballEntry{done: make(chan struct{}), loc: e.DS.POIs[anchor].Loc}
+	ent.elem = sw.ballLRU.PushFront(key)
+	sw.balls[key] = ent
+	for len(sw.balls) > sharedBallMaxEntries {
+		oldest := sw.ballLRU.Back()
+		sw.removeBallLocked(oldest.Value.(ballKey))
+		sw.ballEvict.Add(1)
+	}
+	sw.mu.Unlock()
+	sw.ballMisses.Add(1)
+
+	completed := false
+	defer func() {
+		if !completed {
+			sw.mu.Lock()
+			if sw.balls[key] == ent {
+				sw.removeBallLocked(key)
+			}
+			sw.mu.Unlock()
+			close(ent.done)
+		}
+	}()
+	mck := roadnet.NewCheckpoint(nil, nil, 0) // metering only: never trips
+	ball := e.ballAround(anchor, radius, mck)
+	ent.ball = ball
+	ent.tl = e.prepareBallLabels(ball)
+	ent.work = mck.Spent()
+	ent.ok = true
+	completed = true
+	close(ent.done)
+
+	if ck.Spend(int(ent.work)) {
+		return []model.POIID{anchor}, nil
+	}
+	return append([]model.POIID(nil), ball...), ent.tl
+}
+
+// prepareBallLabels flattens the ball's target labels once; nil under
+// non-label oracles (same seam makeMOf uses to pick its strategy).
+func (e *Engine) prepareBallLabels(ball []model.POIID) *roadnet.TargetLabels {
+	atts := make([]roadnet.Attach, len(ball))
+	for i, o := range ball {
+		atts[i] = e.DS.POIs[o].At
+	}
+	return e.DS.Road.PrepareTargetLabels(atts)
+}
+
+// removeBallLocked unlinks a ball entry; callers hold sw.mu. In-flight
+// entries may be evicted too — the leader's completion check compares
+// pointers, and waiters already holding the entry still see its result.
+func (sw *sharedWork) removeBallLocked(key ballKey) {
+	if ent, ok := sw.balls[key]; ok {
+		sw.ballLRU.Remove(ent.elem)
+		delete(sw.balls, key)
+	}
+}
+
+// noteAddPOI is the AddPOI invalidation hook, called with the engine lock
+// held exclusively (no query is in flight). It evicts exactly the balls
+// the new POI could have joined: road distance never undercuts Euclidean
+// distance, so a POI Euclidean-farther than r from an anchor can never be
+// inside that anchor's radius-r ball. Every AddPOI bumps the road-data
+// version so tests (and operators) can observe that the memo noticed.
+func (sw *sharedWork) noteAddPOI(loc geo.Point) {
+	if sw == nil {
+		return
+	}
+	sw.mu.Lock()
+	sw.version++
+	for key, ent := range sw.balls {
+		if ent.loc.Dist(loc) <= key.r {
+			sw.removeBallLocked(key)
+			sw.ballEvict.Add(1)
+		}
+	}
+	sw.mu.Unlock()
+}
+
+// userSweep returns u's memoized sweep entry, singleflight-building it
+// with build on a miss. build runs outside the memo lock and must fill
+// the entry and return true; returning false (or panicking) unpublishes
+// the entry. A nil return means the memo is at capacity — the caller runs
+// the per-query path, exactly as if the memo were disabled.
+func (sw *sharedWork) userSweep(u socialnet.UserID, arrayBytes int64, build func(*userEntry) bool) *userEntry {
+	sw.mu.Lock()
+	ent, ok := sw.users[u]
+	if ok {
+		sw.mu.Unlock()
+		<-ent.done
+		if !ent.ok {
+			return nil
+		}
+		sw.sweepHits.Add(1)
+		return ent
+	}
+	nb := arrayBytes
+	if nb == 0 {
+		nb = sharedLabelBytesGuess
+	}
+	if len(sw.users) >= sharedUserMaxEntries || sw.userBytes+nb > sharedUserMaxBytes {
+		sw.mu.Unlock()
+		sw.sweepFull.Add(1)
+		return nil
+	}
+	ent = &userEntry{done: make(chan struct{})}
+	sw.users[u] = ent
+	sw.userBytes += nb
+	sw.mu.Unlock()
+	sw.sweepMisses.Add(1)
+
+	completed := false
+	defer func() {
+		if !completed {
+			sw.mu.Lock()
+			if sw.users[u] == ent {
+				delete(sw.users, u)
+				sw.userBytes -= nb
+			}
+			sw.mu.Unlock()
+			close(ent.done)
+		}
+	}()
+	if !build(ent) {
+		return nil
+	}
+	ent.ok = true
+	completed = true
+	close(ent.done)
+	return ent
+}
+
+// sharedUserArray returns u's exact one-to-all array through the memo,
+// charging the metered sweep cost to ck. ok false means the caller must
+// compute per-query (memo disabled, full, or abandoned build). A true
+// return with a tripped ck hands back an all-+Inf array, matching the
+// solo all-or-nothing abort discipline.
+func (e *Engine) sharedUserArray(u socialnet.UserID, ck *roadnet.Checkpoint) ([]float64, bool) {
+	sw := e.shared
+	if sw == nil {
+		return nil, false
+	}
+	nv := e.DS.Road.NumVertices()
+	ent := sw.userSweep(u, int64(8*nv), func(ent *userEntry) bool {
+		mck := roadnet.NewCheckpoint(nil, nil, 0)
+		ent.array = e.userVertexDist(u, mck)
+		ent.work = mck.Spent()
+		return true
+	})
+	if ent == nil {
+		return nil, false
+	}
+	if ck.Spend(int(ent.work)) {
+		return allInf(nv), true
+	}
+	return ent.array, true
+}
+
+// sharedUserLabel returns u's attachment hub label through the memo. The
+// label is owned by the memo (never returned to the pool). ok false means
+// the caller must run the per-query path.
+func (e *Engine) sharedUserLabel(u socialnet.UserID) (*roadnet.HubLabel, bool) {
+	sw := e.shared
+	if sw == nil {
+		return nil, false
+	}
+	ent := sw.userSweep(u, 0, func(ent *userEntry) bool {
+		l := new(roadnet.HubLabel)
+		e.DS.Road.AttachLabel(e.DS.Users[u].At, l)
+		ent.label = l
+		return true
+	})
+	if ent == nil || ent.label == nil {
+		return nil, false
+	}
+	return ent.label, true
+}
+
+func allInf(n int) []float64 {
+	dv := make([]float64, n)
+	for i := range dv {
+		dv[i] = math.Inf(1)
+	}
+	return dv
+}

@@ -107,6 +107,22 @@ func (f *flight) wait(key string, c *call, waiterCtx context.Context, coalesced 
 	}
 }
 
+// snapshot reports the live coalescing depth for /statsz: the number of
+// keys with an execution in flight, the total waiters blocked on them,
+// and the largest waiter count on any single key.
+func (f *flight) snapshot() (keys, waiters, maxWaiters int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.calls {
+		keys++
+		waiters += c.waiters
+		if c.waiters > maxWaiters {
+			maxWaiters = c.waiters
+		}
+	}
+	return keys, waiters, maxWaiters
+}
+
 // pending reports the number of waiters currently blocked on key's call
 // (0 when no call is in flight). Tests use it to deterministically gate an
 // execution until every concurrent request has joined.

@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,19 +27,26 @@ import (
 // clients issuing a zipf-skewed query mix — the bursty, highly
 // overlapping workload the ROADMAP's group-planning scenario predicts —
 // then reports client-observed latency percentiles, throughput, shed
-// rate, and the coalescing/caching win. With RunConfig.JSONOut set the
-// numbers are also written as JSON (the committed BENCH_serve.json).
+// rate, and the coalescing/caching/shared-work win. With RunConfig.JSONOut
+// set the numbers are also written as JSON (the committed
+// BENCH_serve.json). RunConfig.Compare re-runs the identical workload
+// with the shared-work memo disabled first, so the committed pair of
+// reports is a controlled before/after measurement.
 //
 // It lives in package serve rather than internal/bench because it drives
 // the public gpssn facade, which internal/bench must not import (the root
 // package's own tests import internal/bench); cmd/gpssn-bench registers
 // it via bench.Register.
 
+// loadGatherWindow is the gather window the load generator enables on the
+// shared-work run (the same default cmd/gpssn-serve ships with).
+const loadGatherWindow = time.Millisecond
+
 // LoadExperiment returns the "serve" experiment for bench.Register.
 func LoadExperiment() bench.Experiment {
 	return bench.Experiment{
 		Name:        "serve",
-		Description: "Serving: concurrent zipf-skewed clients vs gpssn-serve (p50/p99, throughput, shed + coalesce rates, JSON-capable)",
+		Description: "Serving: concurrent zipf-skewed clients vs gpssn-serve (p50/p99, throughput, shed + coalesce + shared-work rates, JSON-capable)",
 		Run:         runServeLoad,
 	}
 }
@@ -53,6 +61,10 @@ type serveReport struct {
 	RoadVertices int     `json:"road_vertices"`
 	POIs         int     `json:"pois"`
 
+	SharedWork     bool    `json:"shared_work"`
+	GatherWindowMs float64 `json:"gather_window_ms"`
+	Warmup         int     `json:"warmup_excluded"` // leading requests kept out of percentiles
+
 	Clients     int     `json:"clients"`
 	Requests    int     `json:"requests_total"` // logical queries (tickets)
 	Attempts    int64   `json:"attempts_total"` // HTTP requests incl. shed retries
@@ -60,14 +72,21 @@ type serveReport struct {
 	DurationMs  float64 `json:"duration_ms"`
 
 	ThroughputRPS float64 `json:"throughput_rps"` // completed answers (200/404) per second
-	P50Ms         float64 `json:"latency_p50_ms"` // over completed answers, incl. retry backoff
+	P50Ms         float64 `json:"latency_p50_ms"` // post-warmup answers, incl. retry backoff
 	P90Ms         float64 `json:"latency_p90_ms"`
 	P99Ms         float64 `json:"latency_p99_ms"`
 
-	ShedRate     float64 `json:"shed_rate"`         // 429s / HTTP attempts
-	CoalesceRate float64 `json:"coalesce_hit_rate"` // coalesced / HTTP attempts
-	CacheHitRate float64 `json:"cache_hit_rate"`    // answer-cache hits / executions
-	FoundRate    float64 `json:"found_rate"`        // found / completed answers
+	// Per-endpoint percentiles over the same post-warmup window.
+	QueryP50Ms float64 `json:"latency_query_p50_ms"`
+	QueryP99Ms float64 `json:"latency_query_p99_ms"`
+	TopKP50Ms  float64 `json:"latency_topk_p50_ms"`
+	TopKP99Ms  float64 `json:"latency_topk_p99_ms"`
+
+	ShedRate      float64 `json:"shed_rate"`            // 429s / HTTP attempts
+	CoalesceRate  float64 `json:"coalesce_hit_rate"`    // coalesced / HTTP attempts
+	CacheHitRate  float64 `json:"cache_hit_rate"`       // answer-cache hits / executions
+	SharedHitRate float64 `json:"shared_work_hit_rate"` // combined ball+sweep memo hit rate
+	FoundRate     float64 `json:"found_rate"`           // found / completed answers
 
 	StatusCounts map[string]int64 `json:"status_counts"`
 	Server       metricsSnapshot  `json:"server_statsz"`
@@ -77,6 +96,7 @@ type serveReport struct {
 // shapes dominate, the way production query traffic repeats itself.
 type loadShape struct {
 	body   func(user int) string
+	topk   bool
 	weight int
 }
 
@@ -84,6 +104,48 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 	if cfg.Scale == 0 {
 		cfg.Scale = 0.1
 	}
+	if !cfg.Compare {
+		_, err := driveServeLoad(w, cfg, true, cfg.JSONOut)
+		return err
+	}
+	// Before/after on the same seed and workload: memo off (the PR 6
+	// serving stack) first, then the shared-work run. Two processes'
+	// worth of state in one: each drive builds its own dataset and
+	// server, so the only difference is the knob under measurement.
+	offOut := ""
+	if cfg.JSONOut != "" {
+		offOut = nomemoPath(cfg.JSONOut)
+	}
+	fmt.Fprintf(w, "## before: shared-work memo OFF\n")
+	off, err := driveServeLoad(w, cfg, false, offOut)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n## after: shared-work memo ON (gather window %v)\n", loadGatherWindow)
+	on, err := driveServeLoad(w, cfg, true, cfg.JSONOut)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n## shared-work before/after (same seed, same workload)\n")
+	fmt.Fprintf(w, "%-22s %12s %12s\n", "metric", "memo off", "memo on")
+	fmt.Fprintf(w, "%-22s %11.0f/s %11.0f/s\n", "throughput", off.ThroughputRPS, on.ThroughputRPS)
+	fmt.Fprintf(w, "%-22s %10.0fms %10.0fms\n", "latency p50", off.P50Ms, on.P50Ms)
+	fmt.Fprintf(w, "%-22s %10.0fms %10.0fms\n", "latency p99", off.P99Ms, on.P99Ms)
+	fmt.Fprintf(w, "%-22s %11.1f%% %11.1f%%\n", "shed rate", 100*off.ShedRate, 100*on.ShedRate)
+	fmt.Fprintf(w, "%-22s %11.1f%% %11.1f%%\n", "shared-work hit rate", 100*off.SharedHitRate, 100*on.SharedHitRate)
+	return nil
+}
+
+// nomemoPath derives the memo-off report path from the memo-on one:
+// BENCH_serve.json -> BENCH_serve_nomemo.json.
+func nomemoPath(p string) string {
+	if i := strings.LastIndex(p, "."); i > 0 {
+		return p[:i] + "_nomemo" + p[i:]
+	}
+	return p + "_nomemo"
+}
+
+func driveServeLoad(w io.Writer, cfg bench.RunConfig, sharedWork bool, jsonOut string) (serveReport, error) {
 	const (
 		clients  = 1000
 		requests = 8000
@@ -104,38 +166,53 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 		RoadVertices: scaled(30000), Users: scaled(30000), POIs: scaled(10000),
 	})
 	if err != nil {
-		return err
+		return serveReport{}, err
 	}
-	db, err := gpssn.Open(netw, gpssn.Config{CacheSize: 4096, Parallelism: 1})
+	db, err := gpssn.Open(netw, gpssn.Config{
+		CacheSize: 4096, Parallelism: 1, DisableSharedWork: !sharedWork,
+	})
 	if err != nil {
-		return err
+		return serveReport{}, err
 	}
 	users := netw.NumUsers()
 
-	srv := New(db, Config{MaxInFlight: maxInFlight, MaxTimeout: 30 * time.Second})
+	srvCfg := Config{MaxInFlight: maxInFlight, MaxTimeout: 30 * time.Second}
+	if sharedWork {
+		srvCfg.GatherWindow = loadGatherWindow
+	}
+	srv := New(db, srvCfg)
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return serveReport{}, err
 	}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
-	url := "http://" + ln.Addr().String() + "/v1/query"
+	base := "http://" + ln.Addr().String()
+	urls := map[bool]string{false: base + "/v1/query", true: base + "/v1/topk"}
 
-	// The query mix: four shapes, heavily weighted toward one default
-	// shape, over zipf-popular issuers — maximal overlap, like a city's
-	// worth of users planning around the same hotspots.
+	// The query mix: four single-answer shapes heavily weighted toward
+	// one default, plus a top-k shape, over zipf-popular issuers —
+	// maximal overlap, like a city's worth of users planning around the
+	// same hotspots.
 	shape := func(tau int, gamma, theta, r float64) func(int) string {
 		return func(user int) string {
 			return fmt.Sprintf(`{"user":%d,"group_size":%d,"gamma":%g,"theta":%g,"radius":%g}`,
 				user, tau, gamma, theta, r)
 		}
 	}
+	topkShape := func(tau int, gamma, theta, r float64, k int) func(int) string {
+		return func(user int) string {
+			return fmt.Sprintf(`{"user":%d,"group_size":%d,"gamma":%g,"theta":%g,"radius":%g,"k":%d}`,
+				user, tau, gamma, theta, r, k)
+		}
+	}
 	shapes := []loadShape{
-		{shape(5, 0.5, 0.5, 2), 8},
-		{shape(3, 0.5, 0.5, 1), 4},
-		{shape(5, 0.3, 0.5, 2), 2},
-		{shape(7, 0.5, 0.7, 3), 1},
+		{shape(5, 0.5, 0.5, 2), false, 8},
+		{shape(3, 0.5, 0.5, 1), false, 4},
+		{shape(5, 0.3, 0.5, 2), false, 2},
+		{shape(7, 0.5, 0.7, 3), false, 1},
+		{topkShape(3, 0.5, 0.5, 2, 3), true, 1},
 	}
 	var weighted []int
 	for i, s := range shapes {
@@ -154,18 +231,30 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 		next      atomic.Int64 // global ticket: one per logical query
 		attempts  atomic.Int64 // HTTP requests, including shed retries
 		mu        sync.Mutex
-		latencies []float64 // ms, first attempt → final answer
+		completed int64     // all completed answers (throughput window)
+		latencies []float64 // ms, first attempt -> final answer, post-warmup
+		latQuery  []float64 // per-endpoint splits of latencies
+		latTopk   []float64
 		statuses  = map[string]int64{}
 		found     int64
 	)
-	record := func(status int, ms float64, f bool) {
+	record := func(topk bool, status int, ms float64, f, warm bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		statuses[fmt.Sprint(status)]++
 		if status == http.StatusOK || status == http.StatusNotFound {
-			latencies = append(latencies, ms)
+			completed++
 			if f {
 				found++
+			}
+			if warm {
+				return // warmup transient: counts for throughput, not percentiles
+			}
+			latencies = append(latencies, ms)
+			if topk {
+				latTopk = append(latTopk, ms)
+			} else {
+				latQuery = append(latQuery, ms)
 			}
 		}
 	}
@@ -180,11 +269,14 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 			// Zipf over issuers: a few hotspot users dominate.
 			zipf := rand.NewZipf(rng, 1.3, 8, uint64(users-1))
 			for {
-				if next.Add(1) > requests {
+				ticket := next.Add(1)
+				if ticket > requests {
 					return
 				}
+				warm := ticket <= int64(cfg.Warmup)
 				user := int(zipf.Uint64())
-				body := shapes[weighted[rng.Intn(len(weighted))]].body(user)
+				sh := shapes[weighted[rng.Intn(len(weighted))]]
+				body := sh.body(user)
 				t0 := time.Now()
 				// One logical query: a shed (429) is retried with jittered
 				// exponential backoff, the well-behaved-client protocol
@@ -193,9 +285,9 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 				backoff := 4 * time.Millisecond
 				for {
 					attempts.Add(1)
-					resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+					resp, err := client.Post(urls[sh.topk], "application/json", bytes.NewReader([]byte(body)))
 					if err != nil {
-						record(0, 0, false)
+						record(sh.topk, 0, 0, false, warm)
 						break
 					}
 					b, _ := io.ReadAll(resp.Body)
@@ -212,12 +304,19 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 					}
 					f := false
 					if resp.StatusCode == http.StatusOK {
-						var qr queryResponse
-						if json.Unmarshal(b, &qr) == nil {
-							f = qr.Found
+						if sh.topk {
+							var tr topKResponse
+							if json.Unmarshal(b, &tr) == nil {
+								f = len(tr.Answers) > 0
+							}
+						} else {
+							var qr queryResponse
+							if json.Unmarshal(b, &qr) == nil {
+								f = qr.Found
+							}
 						}
 					}
-					record(resp.StatusCode, float64(time.Since(t0).Microseconds())/1000, f)
+					record(sh.topk, resp.StatusCode, float64(time.Since(t0).Microseconds())/1000, f, warm)
 					break
 				}
 			}
@@ -226,67 +325,75 @@ func runServeLoad(w io.Writer, cfg bench.RunConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	m := &srv.met
-	snap := metricsSnapshot{
-		Requests:  m.Requests.Load(),
-		Executed:  m.Executed.Load(),
-		Coalesced: m.Coalesced.Load(),
-		CacheHits: m.CacheHits.Load(),
-		Shed:      m.Shed.Load(),
-		Found:     m.Found.Load(),
-		NoAnswer:  m.NoAnswer.Load(),
-		Errors:      m.Errors.Load(),
-		UptimeMs:    elapsed.Milliseconds(),
-		MaxInFlight: maxInFlight,
-	}
+	snap := srv.snapshot()
 
 	sort.Float64s(latencies)
+	sort.Float64s(latQuery)
+	sort.Float64s(latTopk)
 	rpt := serveReport{
 		Scale: cfg.Scale, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Users: users, RoadVertices: netw.NumIntersections(), POIs: netw.NumPOIs(),
-		Clients: clients, Requests: requests, Attempts: attempts.Load(), MaxInFlight: maxInFlight,
+		SharedWork:     sharedWork,
+		GatherWindowMs: snap.GatherWindowMs,
+		Warmup:         cfg.Warmup,
+		Clients:        clients, Requests: requests, Attempts: attempts.Load(), MaxInFlight: maxInFlight,
 		DurationMs:    float64(elapsed.Microseconds()) / 1000,
-		ThroughputRPS: float64(len(latencies)) / elapsed.Seconds(),
+		ThroughputRPS: float64(completed) / elapsed.Seconds(),
 		P50Ms:         percentile(latencies, 0.50),
 		P90Ms:         percentile(latencies, 0.90),
 		P99Ms:         percentile(latencies, 0.99),
+		QueryP50Ms:    percentile(latQuery, 0.50),
+		QueryP99Ms:    percentile(latQuery, 0.99),
+		TopKP50Ms:     percentile(latTopk, 0.50),
+		TopKP99Ms:     percentile(latTopk, 0.99),
 		ShedRate:      rate(snap.Shed, attempts.Load()),
 		CoalesceRate:  rate(snap.Coalesced, attempts.Load()),
 		CacheHitRate:  rate(snap.CacheHits, snap.Executed),
-		FoundRate:     rate(found, int64(len(latencies))),
+		FoundRate:     rate(found, completed),
 		StatusCounts:  statuses,
 		Server:        snap,
+	}
+	if sw := snap.SharedWork; sw != nil {
+		rpt.SharedHitRate = sw.HitRate
 	}
 
 	fmt.Fprintf(w, "# Serving: %d clients, %d queries (%d HTTP attempts), zipf-skewed mix, max-inflight %d (GOMAXPROCS=%d)\n",
 		clients, requests, rpt.Attempts, maxInFlight, rpt.GOMAXPROCS)
-	fmt.Fprintf(w, "dataset: UNI scale %.2f (%d users, %d road vertices, %d POIs)\n",
-		cfg.Scale, rpt.Users, rpt.RoadVertices, rpt.POIs)
+	fmt.Fprintf(w, "dataset: UNI scale %.2f (%d users, %d road vertices, %d POIs); shared-work=%v warmup=%d\n",
+		cfg.Scale, rpt.Users, rpt.RoadVertices, rpt.POIs, sharedWork, cfg.Warmup)
 	fmt.Fprintf(w, "%-22s %12s\n", "metric", "value")
 	fmt.Fprintf(w, "%-22s %11.0f/s\n", "throughput (answers)", rpt.ThroughputRPS)
 	fmt.Fprintf(w, "%-22s %10.2fms\n", "latency p50", rpt.P50Ms)
 	fmt.Fprintf(w, "%-22s %10.2fms\n", "latency p90", rpt.P90Ms)
 	fmt.Fprintf(w, "%-22s %10.2fms\n", "latency p99", rpt.P99Ms)
+	fmt.Fprintf(w, "%-22s %10.2fms\n", "query p99", rpt.QueryP99Ms)
+	fmt.Fprintf(w, "%-22s %10.2fms\n", "topk p99", rpt.TopKP99Ms)
 	fmt.Fprintf(w, "%-22s %11.1f%%\n", "shed rate (429)", 100*rpt.ShedRate)
 	fmt.Fprintf(w, "%-22s %11.1f%%\n", "coalesce hit rate", 100*rpt.CoalesceRate)
 	fmt.Fprintf(w, "%-22s %11.1f%%\n", "answer-cache hit rate", 100*rpt.CacheHitRate)
+	if sw := snap.SharedWork; sw != nil {
+		fmt.Fprintf(w, "%-22s %11.1f%%\n", "shared-work hit rate", 100*rpt.SharedHitRate)
+		fmt.Fprintf(w, "%-22s %6d/%d\n", "ball memo hits/misses", sw.BallHits, sw.BallMisses)
+		fmt.Fprintf(w, "%-22s %6d/%d\n", "sweep memo hits/misses", sw.SweepHits, sw.SweepMisses)
+		fmt.Fprintf(w, "%-22s %6d/%d\n", "gather batches/reqs", snap.GatherBatches, snap.GatherBatched)
+	}
 	fmt.Fprintf(w, "%-22s %11.1f%%\n", "found rate", 100*rpt.FoundRate)
 	fmt.Fprintf(w, "%-22s %12d\n", "engine executions", snap.Executed)
 	fmt.Fprintf(w, "status counts: %v\n", statuses)
 	fmt.Fprintln(w, "# every answered request did exact work or shared/cached the identical exact answer;")
 	fmt.Fprintln(w, "# shed requests got 429 + Retry-After instead of queueing without bound")
 
-	if cfg.JSONOut != "" {
+	if jsonOut != "" {
 		b, err := json.MarshalIndent(rpt, "", "  ")
 		if err != nil {
-			return err
+			return rpt, err
 		}
-		if err := os.WriteFile(cfg.JSONOut, append(b, '\n'), 0o644); err != nil {
-			return err
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return rpt, err
 		}
-		fmt.Fprintf(w, "# JSON report written to %s\n", cfg.JSONOut)
+		fmt.Fprintf(w, "# JSON report written to %s\n", jsonOut)
 	}
-	return nil
+	return rpt, nil
 }
 
 // percentile returns the p-quantile of sorted ms latencies (0 when empty).

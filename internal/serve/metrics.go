@@ -34,7 +34,8 @@ type metrics struct {
 	InFlight atomic.Int64
 }
 
-// metricsSnapshot is the JSON shape of GET /statsz.
+// metricsSnapshot is the JSON shape of GET /statsz (assembled by
+// Server.snapshot, which also feeds the loadgen's server_statsz capture).
 type metricsSnapshot struct {
 	UptimeMs      int64 `json:"uptime_ms"`
 	Requests      int64 `json:"requests_total"`
@@ -50,4 +51,36 @@ type metricsSnapshot struct {
 	InFlight      int64 `json:"in_flight"`
 	MaxInFlight   int   `json:"max_in_flight"`
 	Draining      bool  `json:"draining"`
+
+	// Live coalescing depth (the flight map at snapshot time).
+	FlightKeys       int `json:"flight_in_flight_keys"`
+	FlightWaiters    int `json:"flight_waiters"`
+	FlightMaxWaiters int `json:"flight_max_waiters_one_key"`
+
+	// Gather-window tallies (zero when Config.GatherWindow is off).
+	GatherWindowMs float64 `json:"gather_window_ms"`
+	GatherBatches  int64   `json:"gather_batches_total"`
+	GatherBatched  int64   `json:"gather_batched_requests_total"`
+	GatherMaxBatch int64   `json:"gather_max_batch"`
+
+	// Engine shared-work memo counters; omitted when the layer is
+	// disabled (Config.DisableSharedWork at the facade).
+	SharedWork *sharedWorkJSON `json:"shared_work,omitempty"`
+}
+
+// sharedWorkJSON mirrors gpssn.SharedWorkStats for /statsz. HitRate is
+// the combined ball+sweep memo hit rate — the headline number the
+// bench-serve before/after comparison gates on.
+type sharedWorkJSON struct {
+	RoadVersion   uint64  `json:"road_version"`
+	BallHits      int64   `json:"ball_hits_total"`
+	BallMisses    int64   `json:"ball_misses_total"`
+	BallEvictions int64   `json:"ball_evictions_total"`
+	BallEntries   int     `json:"ball_entries"`
+	SweepHits     int64   `json:"sweep_hits_total"`
+	SweepMisses   int64   `json:"sweep_misses_total"`
+	SweepRejected int64   `json:"sweep_rejected_total"`
+	SweepEntries  int     `json:"sweep_entries"`
+	SweepBytes    int64   `json:"sweep_bytes"`
+	HitRate       float64 `json:"hit_rate"`
 }

@@ -54,6 +54,13 @@ type Config struct {
 	MaxTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// GatherWindow holds each parsed query request up to this long so
+	// that overlapping requests enter the engine together and fold into
+	// one shared ball/sweep construction pass (docs/SERVING.md §4a).
+	// 0 (the default) disables the hold; gpssn-serve enables ~1ms via
+	// its -gather-window flag. Costs up to one window of added latency
+	// per request — keep it well under typical engine latency.
+	GatherWindow time.Duration
 	// Logf, when set, receives one diagnostic line per lifecycle event
 	// (drain begin/end) and per internal error. nil discards them.
 	Logf func(format string, args ...any)
@@ -81,11 +88,12 @@ func (c Config) logf(format string, args ...any) {
 type Server struct {
 	db    *gpssn.DB
 	cfg   Config
-	mux   *http.ServeMux
-	slots chan struct{}
-	fl    *flight
-	met   metrics
-	start time.Time
+	mux    *http.ServeMux
+	slots  chan struct{}
+	fl     *flight
+	gather *gatherer
+	met    metrics
+	start  time.Time
 
 	draining atomic.Bool
 	wg       sync.WaitGroup // in-flight query-endpoint requests
@@ -100,12 +108,13 @@ type Server struct {
 func New(db *gpssn.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:    db,
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		slots: make(chan struct{}, cfg.MaxInFlight),
-		fl:    newFlight(),
-		start: time.Now(),
+		db:     db,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		slots:  make(chan struct{}, cfg.MaxInFlight),
+		fl:     newFlight(),
+		gather: newGatherer(cfg.GatherWindow),
+		start:  time.Now(),
 	}
 	s.execQuery = db.QueryCtx
 	s.execTopK = db.QueryTopKCtx
@@ -208,23 +217,58 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// snapshot assembles the full /statsz payload: the server's own atomic
+// counters, the live coalescing depth, the gather-window tallies, and the
+// engine's shared-work memo counters. The loadgen captures the same
+// struct into BENCH_serve.json, so the two always agree field for field.
+func (s *Server) snapshot() metricsSnapshot {
 	m := &s.met
-	writeJSON(w, http.StatusOK, metricsSnapshot{
-		UptimeMs:      time.Since(s.start).Milliseconds(),
-		Requests:      m.Requests.Load(),
-		Executed:      m.Executed.Load(),
-		Coalesced:     m.Coalesced.Load(),
-		CacheHits:     m.CacheHits.Load(),
-		Shed:          m.Shed.Load(),
-		DrainRejected: m.DrainRejected.Load(),
-		Found:         m.Found.Load(),
-		NoAnswer:      m.NoAnswer.Load(),
-		ClientGone:    m.ClientGone.Load(),
-		Errors:        m.Errors.Load(),
-		InFlight:      m.InFlight.Load(),
-		MaxInFlight:   s.cfg.MaxInFlight,
-		Draining:      s.Draining(),
-	})
+	flKeys, flWaiters, flMax := s.fl.snapshot()
+	snap := metricsSnapshot{
+		UptimeMs:         time.Since(s.start).Milliseconds(),
+		Requests:         m.Requests.Load(),
+		Executed:         m.Executed.Load(),
+		Coalesced:        m.Coalesced.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		Shed:             m.Shed.Load(),
+		DrainRejected:    m.DrainRejected.Load(),
+		Found:            m.Found.Load(),
+		NoAnswer:         m.NoAnswer.Load(),
+		ClientGone:       m.ClientGone.Load(),
+		Errors:           m.Errors.Load(),
+		InFlight:         m.InFlight.Load(),
+		MaxInFlight:      s.cfg.MaxInFlight,
+		Draining:         s.Draining(),
+		FlightKeys:       flKeys,
+		FlightWaiters:    flWaiters,
+		FlightMaxWaiters: flMax,
+		GatherWindowMs:   float64(s.cfg.GatherWindow) / float64(time.Millisecond),
+		GatherBatches:    s.gather.batches.Load(),
+		GatherBatched:    s.gather.batched.Load(),
+		GatherMaxBatch:   s.gather.maxBatch.Load(),
+	}
+	if sw := s.db.SharedWorkStats(); sw.Enabled {
+		j := sharedWorkJSON{
+			RoadVersion:   sw.RoadVersion,
+			BallHits:      sw.BallHits,
+			BallMisses:    sw.BallMisses,
+			BallEvictions: sw.BallEvictions,
+			BallEntries:   sw.BallEntries,
+			SweepHits:     sw.SweepHits,
+			SweepMisses:   sw.SweepMisses,
+			SweepRejected: sw.SweepRejected,
+			SweepEntries:  sw.SweepEntries,
+			SweepBytes:    sw.SweepBytes,
+		}
+		if n := j.BallHits + j.BallMisses + j.SweepHits + j.SweepMisses; n > 0 {
+			j.HitRate = float64(j.BallHits+j.SweepHits) / float64(n)
+		}
+		snap.SharedWork = &j
+	}
+	return snap
 }
 
 // handleQueryEndpoint is the shared pipeline of /v1/query and /v1/topk:
@@ -252,6 +296,11 @@ func (s *Server) handleQueryEndpoint(w http.ResponseWriter, r *http.Request, top
 		return
 	}
 	timeout := s.effectiveTimeout(req.TimeoutMs)
+
+	// Gather window: hold parsed requests briefly so overlapping queries
+	// enter the engine together and fold their ball/sweep builds through
+	// the shared-work memo. No-op unless Config.GatherWindow is set.
+	s.gather.hold(r.Context())
 
 	res, coalesced, ok := s.fl.do(req.flightKey(topk, timeout), r.Context(), timeout,
 		func(ctx context.Context) flightResult {
