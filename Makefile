@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix bench-parallel bench-smoke bench-serve
+.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix bench-parallel bench-smoke bench-serve bench-scale bench-guard
 
 check: vet lint build test race
 
@@ -73,6 +73,20 @@ bench-parallel:
 bench-smoke:
 	$(GO) run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout BENCH_choracle.json
 	$(GO) run ./cmd/gpssn-bench -exp hublabel -scale 0.05 -queries 4 -jsonout BENCH_hublabel.json
+
+# The million-scale tier: generate ~1M road vertices / ~1M users with the
+# streaming lattice generator, build CH + hub labels, run the default query
+# workload, and record latency percentiles plus peak RSS in
+# BENCH_scale1m.json (recorded in EXPERIMENTS.md). Deliberately heavy:
+# ~18 min and ~11 GB peak on one core at full scale.
+bench-scale:
+	$(GO) run ./cmd/gpssn-bench -exp scale1m -scale 1.0 -queries 16 -jsonout BENCH_scale1m.json
+
+# Regression guard: re-run the smoke benchmarks and compare p50-class
+# latencies against the committed BENCH_*.json; fails past 2x. CI runs it
+# as a non-blocking job (shared-runner noise is real).
+bench-guard:
+	./scripts/bench-guard.sh
 
 # The serving load test: 1000 concurrent zipf-skewed clients against an
 # in-process gpssn-serve over loopback TCP; reports p50/p99 latency,

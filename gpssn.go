@@ -61,6 +61,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -158,6 +159,17 @@ type Config struct {
 	// mainly useful for A/B measurement (make bench-serve does exactly
 	// that) and for memory-constrained embedders.
 	DisableSharedWork bool
+	// DisableRefineArena turns off the per-worker refinement arenas (the
+	// grow-only scratch buffers the hot path reuses across anchors).
+	// Answers are bit-identical either way; disabling is an A/B seam for
+	// allocation measurement, not a tuning knob.
+	DisableRefineArena bool
+	// DisableSweepFold turns off folding of refinement's one-to-all
+	// sweeps into batched multi-source passes. Folding already excludes
+	// itself wherever it could alter an answer or a budget trip point
+	// (budgeted queries, label oracles, shared-work engines), so this
+	// too exists for A/B measurement.
+	DisableSweepFold bool
 	// Logf, when set, receives diagnostic log lines (oracle fallbacks,
 	// snapshot-recovery notes). nil discards them; the same information is
 	// always available from Health().
@@ -362,6 +374,42 @@ func (db *DB) SharedWorkStats() SharedWorkStats {
 	return db.engine.SharedWorkStats()
 }
 
+// MemoryStats reports where a DB's memory lives: the preprocessed oracle
+// structures (the dominant resident cost at scale — the capacity table in
+// the README is derived from OracleBytes), the refinement arenas, the
+// shared-work sweep memo, and the Go heap as the runtime sees it. Safe to
+// call concurrently with queries; gpssn-serve surfaces it under /statsz.
+type MemoryStats struct {
+	// OracleBytes, ArenaBytes and MemoBytes are the engine's own
+	// accounting — see core.MemoryStats for exactly what each covers.
+	OracleBytes int64
+	ArenaBytes  int64
+	MemoBytes   int64
+	// HeapAlloc and HeapSys are runtime.MemStats.HeapAlloc/HeapSys:
+	// live heap bytes and heap address space obtained from the OS.
+	HeapAlloc uint64
+	HeapSys   uint64
+	// NumGC is the completed garbage-collection cycle count.
+	NumGC uint32
+}
+
+// MemoryStats snapshots the DB's memory accounting.
+func (db *DB) MemoryStats() MemoryStats {
+	db.mu.RLock()
+	es := db.engine.MemoryStats()
+	db.mu.RUnlock()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemoryStats{
+		OracleBytes: es.OracleBytes,
+		ArenaBytes:  es.ArenaBytes,
+		MemoBytes:   es.MemoBytes,
+		HeapAlloc:   m.HeapAlloc,
+		HeapSys:     m.HeapSys,
+		NumGC:       m.NumGC,
+	}
+}
+
 // oracleChain returns the fallback order for a requested backend, or nil
 // for an unknown one. Plain Dijkstra terminates every chain: it needs no
 // preprocessing, so it cannot fail to build.
@@ -481,10 +529,12 @@ func buildDB(net *Network, c Config) (*DB, error) {
 		return nil, fmt.Errorf("gpssn: building social index: %w", err)
 	}
 	engine := core.NewEngine(ds, road, social, core.Options{
-		SamplingRefine: c.Sampling,
-		UseCorollary2:  c.Corollary2,
-		Parallelism:    c.Parallelism,
-		SharedWork:     !c.DisableSharedWork,
+		SamplingRefine:     c.Sampling,
+		UseCorollary2:      c.Corollary2,
+		Parallelism:        c.Parallelism,
+		SharedWork:         !c.DisableSharedWork,
+		DisableRefineArena: c.DisableRefineArena,
+		DisableSweepFold:   c.DisableSweepFold,
 	})
 	return &DB{
 		net: net, engine: engine, cfg: c,

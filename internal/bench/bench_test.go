@@ -129,7 +129,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"appP-gamma", "appP-theta", "appP-r", "appP-pivots", "appP-vs",
 		"ablation-pivots", "ablation-indexpruning", "ablation-distance",
 		"ablation-rtree", "ablation-sampling", "ablation-choracle",
-		"choracle", "hublabel", "ext-metrics", "ext-topk",
+		"choracle", "hublabel", "scale1m", "ext-metrics", "ext-topk",
 		"parallel",
 	}
 	for _, name := range want {

@@ -100,6 +100,7 @@ func Experiments() []Experiment {
 		{"ablation-choracle", "Ablation: CH distance oracle vs plain Dijkstra", runAblationChOracle},
 		{"choracle", "Distance oracle: CH vs Dijkstra (query CPU + p2p microbench, JSON-capable)", runChoracle},
 		{"hublabel", "Distance oracle: hub labels vs CH vs Dijkstra (query CPU + p2p microbench, JSON-capable)", runHublabel},
+		{"scale1m", "Million-scale tier: 1M-vertex/1M-user end-to-end build + query latency + memory (JSON-capable)", runScale1m},
 		{"ext-metrics", "Extension: Jaccard/Hamming interest metrics", runExtMetrics},
 		{"ext-topk", "Extension: top-k GP-SSN", runExtTopK},
 		{"parallel", "Extension: parallel refinement speedup vs worker count", runParallel},

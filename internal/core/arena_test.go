@@ -1,0 +1,268 @@
+package core
+
+import (
+	"testing"
+
+	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/roadnet/ch"
+	"gpssn/internal/roadnet/hl"
+	"gpssn/internal/socialnet"
+)
+
+// sameResults compares two top-k answer lists bit-for-bit: identical
+// costs (exact float equality, not tolerance), anchors, groups and balls.
+// This is the contract the arena and fold layers must meet — they move
+// scratch memory and batch searches, they never change a computed value.
+func sameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Found != w.Found || g.Anchor != w.Anchor || g.MaxDist != w.MaxDist {
+			t.Fatalf("%s: result %d = {found %v anchor %d cost %v}, want {found %v anchor %d cost %v}",
+				label, i, g.Found, g.Anchor, g.MaxDist, w.Found, w.Anchor, w.MaxDist)
+		}
+		if len(g.S) != len(w.S) || len(g.R) != len(w.R) {
+			t.Fatalf("%s: result %d sizes |S|=%d |R|=%d, want %d/%d",
+				label, i, len(g.S), len(g.R), len(w.S), len(w.R))
+		}
+		for j := range w.S {
+			if g.S[j] != w.S[j] {
+				t.Fatalf("%s: result %d S=%v, want %v", label, i, g.S, w.S)
+			}
+		}
+		for j := range w.R {
+			if g.R[j] != w.R[j] {
+				t.Fatalf("%s: result %d R=%v, want %v", label, i, g.R, w.R)
+			}
+		}
+	}
+}
+
+// TestArenaFoldTogglesBitIdentical is the PR's equality gate: every
+// combination of {arena on/off} x {fold on/off} x {P=1, P=8} must return
+// byte-identical top-k answers under each oracle family (plain Dijkstra,
+// CH, HL). The reference is the everything-off sequential engine.
+func TestArenaFoldTogglesBitIdentical(t *testing.T) {
+	ds := smallDataset(t, 23)
+	p := Params{Gamma: 0.2, Tau: 3, Theta: 0.3, R: 2, Metric: MetricDotProduct}
+	queryUsers := []socialnet.UserID{2, 19, 44}
+
+	oracles := []struct {
+		name   string
+		attach func()
+	}{
+		{"dijkstra", func() { ds.Road.SetDistanceOracle(nil) }},
+		{"ch", func() { ds.Road.SetDistanceOracle(ch.Build(ds.Road)) }},
+		{"hl", func() { ds.Road.SetDistanceOracle(hl.Build(ds.Road)) }},
+	}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"arena+fold", Options{}},
+		{"arena-only", Options{DisableSweepFold: true}},
+		{"fold-only", Options{DisableRefineArena: true}},
+		{"arena+fold-p8", Options{Parallelism: 8}},
+		{"none-p8", Options{Parallelism: 8, DisableRefineArena: true, DisableSweepFold: true}},
+		{"arena+fold+memo", Options{SharedWork: true}},
+	}
+	defer ds.Road.SetDistanceOracle(nil)
+	for _, o := range oracles {
+		o.attach()
+		ref := buildEngine(t, ds, Options{
+			Parallelism: 1, DisableRefineArena: true, DisableSweepFold: true,
+		})
+		for _, uq := range queryUsers {
+			want, _, err := ref.QueryTopK(uq, p, 2)
+			if err != nil {
+				t.Fatalf("%s ref uq %d: %v", o.name, uq, err)
+			}
+			for _, v := range variants {
+				e := buildEngine(t, ds, v.opts)
+				got, _, err := e.QueryTopK(uq, p, 2)
+				if err != nil {
+					t.Fatalf("%s/%s uq %d: %v", o.name, v.name, uq, err)
+				}
+				sameResults(t, o.name+"/"+v.name, got, want)
+			}
+		}
+	}
+}
+
+// TestLabelEvalZeroAllocsWithArena pins the arena's core claim with the
+// allocator's own counter: once the per-query cache holds a user's
+// attachment label, evaluating M(u) through the arena-backed label kernel
+// allocates nothing at all.
+func TestLabelEvalZeroAllocsWithArena(t *testing.T) {
+	ds := smallDataset(t, 24)
+	ds.Road.SetDistanceOracle(hl.Build(ds.Road))
+	defer ds.Road.SetDistanceOracle(nil)
+	e := buildEngine(t, ds, Options{})
+
+	cache := newVertexDistCache()
+	ar := e.acquireArena()
+	defer e.releaseArena(ar)
+	ball := []model.POIID{0, 1, 2, 3, 4}
+	mOf := e.makeMOf(cache, ball, nil, nil, nil, ar)
+	users := []socialnet.UserID{1, 5, 9, 13, 17}
+	for _, u := range users {
+		mOf(u) // warm: every label is admitted to the cache
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, u := range users {
+			mOf(u)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm label evaluation allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestQueryAllocsDropWithArena compares whole-query allocation counts with
+// the arena on and off over the same engine state: the arena path must
+// allocate measurably less, and rebuilding the evaluator per anchor must
+// not allocate per ball entry.
+func TestQueryAllocsDropWithArena(t *testing.T) {
+	ds := smallDataset(t, 25)
+	ds.Road.SetDistanceOracle(hl.Build(ds.Road))
+	defer ds.Road.SetDistanceOracle(nil)
+	p := Params{Gamma: 0.2, Tau: 3, Theta: 0.3, R: 2, Metric: MetricDotProduct}
+
+	measure := func(opts Options) float64 {
+		e := buildEngine(t, ds, opts)
+		if _, _, err := e.Query(19, p); err != nil { // warm arenas + pools
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, _, err := e.Query(19, p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	with := measure(Options{Parallelism: 1})
+	without := measure(Options{Parallelism: 1, DisableRefineArena: true})
+	if with >= without {
+		t.Errorf("arena query allocates %.0f objects, no-arena %.0f: arena must allocate less", with, without)
+	}
+	t.Logf("allocs per query: arena=%.0f no-arena=%.0f", with, without)
+}
+
+// TestArenaByteAccounting checks the telemetry gauge against hand-computed
+// buffer sizes, through growth, recycling, and the free-list drop path.
+func TestArenaByteAccounting(t *testing.T) {
+	ds := smallDataset(t, 26)
+	e := buildEngine(t, ds, Options{})
+	ar := e.acquireArena()
+	if ar == nil {
+		t.Fatal("arena disabled by default options")
+	}
+	ar.attachBuf(10)
+	ar.floatBuf(10)
+	ar.userBuf(4)
+	ar.keywords(6)
+	want := int64(10*attachSize + 10*8 + 4*userIDSize + 8)
+	if got := e.ArenaBytes(); got != want {
+		t.Fatalf("ArenaBytes = %d, want %d", got, want)
+	}
+	// Growth only: a smaller request keeps the larger buffer.
+	ar.attachBuf(3)
+	if got := e.ArenaBytes(); got != want {
+		t.Fatalf("ArenaBytes after smaller request = %d, want %d", got, want)
+	}
+	// Releasing keeps the bytes (free list retains the arena)...
+	e.releaseArena(ar)
+	if got := e.ArenaBytes(); got != want {
+		t.Fatalf("ArenaBytes after release = %d, want %d", got, want)
+	}
+	// ...and reacquiring hands the same arena back with buffers intact.
+	ar2 := e.acquireArena()
+	if ar2 != ar {
+		t.Fatal("free list did not recycle the arena")
+	}
+	if got := e.ArenaBytes(); got != want {
+		t.Fatalf("ArenaBytes after reacquire = %d, want %d", got, want)
+	}
+
+	// Overflow the free list: the dropped arena's bytes leave the gauge.
+	extra := make([]*refineArena, 0, arenaMaxFree)
+	for i := 0; i < arenaMaxFree; i++ {
+		a := e.acquireArena()
+		a.floatBuf(2)
+		extra = append(extra, a)
+	}
+	total := e.ArenaBytes()
+	for _, a := range extra {
+		e.releaseArena(a)
+	}
+	e.releaseArena(ar2) // free list already full: ar2's bytes must be subtracted
+	if got := e.ArenaBytes(); got != total-want {
+		t.Fatalf("ArenaBytes after overflow drop = %d, want %d", got, total-want)
+	}
+}
+
+// TestEngineMemoryStats checks the engine-level rollup: oracle bytes only
+// when an oracle reports them, arena bytes after a query warmed the pool.
+func TestEngineMemoryStats(t *testing.T) {
+	ds := smallDataset(t, 27)
+	e := buildEngine(t, ds, Options{})
+	if ms := e.MemoryStats(); ms.OracleBytes != 0 {
+		t.Errorf("OracleBytes = %d without an oracle, want 0", ms.OracleBytes)
+	}
+	ds.Road.SetDistanceOracle(hl.Build(ds.Road))
+	defer ds.Road.SetDistanceOracle(nil)
+	if _, _, err := e.Query(2, Params{Gamma: 0.2, Tau: 2, Theta: 0.2, R: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ms := e.MemoryStats()
+	if ms.OracleBytes <= 0 {
+		t.Errorf("OracleBytes = %d with hub labels attached, want > 0", ms.OracleBytes)
+	}
+	if ms.ArenaBytes <= 0 {
+		t.Errorf("ArenaBytes = %d after a query, want > 0", ms.ArenaBytes)
+	}
+	if ms.ArenaBytes != e.ArenaBytes() {
+		t.Errorf("MemoryStats.ArenaBytes %d != ArenaBytes() %d", ms.ArenaBytes, e.ArenaBytes())
+	}
+}
+
+// TestPrefoldRespectsCacheCaps forces a cache with almost no room and
+// checks the fold still never overfills it — folded arrays are capped to
+// the slots left, and answers are unchanged (covered by the gate above).
+func TestPrefoldRespectsCacheCaps(t *testing.T) {
+	ds := smallDataset(t, 28)
+	e := buildEngine(t, ds, Options{})
+	cache := newVertexDistCacheWith(3, 1<<30)
+	keeper := newSharedKeeper(1)
+	kws := NewTopicSet(ds.NumTopics)
+	for o := range ds.POIs {
+		for _, k := range ds.POIs[o].Keywords {
+			kws.Add(k)
+		}
+	}
+	var cand []socialnet.UserID
+	for u := range ds.Users {
+		cand = append(cand, socialnet.UserID(u))
+	}
+	e.prefoldArrays(cache, cand, kws, 0, keeper, nil, nil)
+	if got := cache.entries(); got > 3 {
+		t.Fatalf("fold overfilled the cache: %d entries, cap 3", got)
+	}
+	if got := cache.entries(); got != 3 {
+		t.Fatalf("fold should fill the remaining %d slots, stored %d", 3, got)
+	}
+	// Folded arrays must equal the solo sweeps bit for bit.
+	for u, dv := range cache.arrays {
+		solo := e.userVertexDist(u, nil)
+		for v := range solo {
+			if dv[v] != solo[v] {
+				t.Fatalf("user %d vertex %d: folded %v != solo %v", u, v, dv[v], solo[v])
+			}
+		}
+	}
+}
+
+var _ = roadnet.Seed{} // keep the roadnet import when builds strip tests

@@ -80,7 +80,7 @@ func TestMOfHonorsCacheCaps(t *testing.T) {
 
 	const cap = 8
 	cache := newVertexDistCacheWith(cap, 1<<26)
-	mOf := e.makeMOf(cache, ball, nil, nil, nil)
+	mOf := e.makeMOf(cache, ball, nil, nil, nil, nil)
 	for u := range ds.Users {
 		if got := mOf(socialnet.UserID(u)); math.Abs(got-want[u]) > 1e-9 {
 			t.Fatalf("array mode: mOf(%d) = %v, want %v", u, got, want[u])
@@ -97,7 +97,7 @@ func TestMOfHonorsCacheCaps(t *testing.T) {
 	// and byte usage reflecting label-sized entries rather than O(V) arrays.
 	ds.Road.SetDistanceOracle(hl.Build(ds.Road))
 	lcache := newVertexDistCacheWith(cap, 1<<26)
-	mOfL := e.makeMOf(lcache, ball, nil, nil, nil)
+	mOfL := e.makeMOf(lcache, ball, nil, nil, nil, nil)
 	for u := range ds.Users {
 		got := mOfL(socialnet.UserID(u))
 		if math.Abs(got-want[u]) > 1e-9*math.Max(1, want[u]) {

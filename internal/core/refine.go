@@ -34,6 +34,8 @@ func (e *Engine) probe(uq socialnet.UserID, p Params, q *qctx) probeResult {
 	}
 	ds := e.DS
 	uqW := ds.Users[uq].Interests
+	ar := e.acquireArena()
+	defer e.releaseArena(ar)
 	const probeAnchors = 3
 	nn := e.Road.Tree.Nearest(ds.Users[uq].Loc, probeAnchors)
 	tried := map[model.POIID]bool{}
@@ -46,16 +48,11 @@ func (e *Engine) probe(uq socialnet.UserID, p Params, q *qctx) probeResult {
 		if q.ck.Stopped() {
 			return // degenerate ball (see refine's processAnchor)
 		}
-		kws := NewTopicSet(ds.NumTopics)
-		for _, o := range ball {
-			for _, k := range ds.POIs[o].Keywords {
-				kws.Add(k)
-			}
-		}
+		kws := ballKeywords(ds, ball, ar)
 		if MatchScoreSet(uqW, kws) < p.Theta {
 			return
 		}
-		mOf := e.makeMOf(pr.cache, ball, tl, nil, q.ck)
+		mOf := e.makeMOf(pr.cache, ball, tl, nil, q.ck, ar)
 		mUq := mOf(uq)
 		if mUq >= pr.res.MaxDist {
 			return
@@ -344,6 +341,46 @@ func (c *vertexDistCache) putLabel(u socialnet.UserID, l *roadnet.HubLabel) bool
 	return true
 }
 
+// putLabelCopy stores an owned copy of l under the same caps as putLabel.
+// The copy is made only once admission is certain, so a full cache costs
+// nothing. Arena-backed labels go through here: the cache must own its
+// entries, and the arena scratch is overwritten by the next evaluation.
+func (c *vertexDistCache) putLabelCopy(u socialnet.UserID, l *roadnet.HubLabel) bool {
+	nb := int64(12 * l.Len())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.labels[u]; ok {
+		return false
+	}
+	if len(c.arrays)+len(c.labels) >= c.maxEntries || c.bytes+nb > c.maxBytes {
+		c.rejected++
+		return false
+	}
+	c.labels[u] = &roadnet.HubLabel{
+		Hubs: append([]int32(nil), l.Hubs...),
+		Dist: append([]float64(nil), l.Dist...),
+	}
+	c.bytes += nb
+	return true
+}
+
+// arrayCapacityLeft reports how many more one-to-all arrays of nb bytes
+// each the cache can admit right now. Advisory under concurrency (putArray
+// re-checks under the lock); the fold path uses it to size batches so that
+// every folded array is guaranteed a cache slot when workers don't race.
+func (c *vertexDistCache) arrayCapacityLeft(nb int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	left := c.maxEntries - (len(c.arrays) + len(c.labels))
+	if byBytes := int((c.maxBytes - c.bytes) / nb); byBytes < left {
+		left = byBytes
+	}
+	if left < 0 {
+		left = 0
+	}
+	return left
+}
+
 // entries and sizeBytes report occupancy (for tests and tracing).
 func (c *vertexDistCache) entries() int {
 	c.mu.Lock()
@@ -357,11 +394,18 @@ func (c *vertexDistCache) sizeBytes() int64 {
 	return c.bytes
 }
 
-// userLabel returns u's attachment hub label through the cache, computing
-// it with one pooled SeedLabel merge on a miss. The second result reports
-// whether the caller must release the label back to the pool (true exactly
-// when the cache did not take ownership). Only call under a label oracle.
-func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.HubLabel, bool) {
+// userLabelWith returns u's attachment hub label through the cache,
+// computing it on a miss. The second result reports whether the caller
+// must release the label back to the pool (true exactly when neither the
+// cache, the memo, nor the arena owns it). Only call under a label oracle.
+//
+// With an arena, the miss path computes into the arena's reusable label
+// scratch — no pool traffic at all — and offers the cache an owned copy
+// (the scratch itself is overwritten by the next evaluation, so the cache
+// can never hold it directly). The returned scratch is valid until the
+// next userLabelWith call on the same arena, which is exactly the one-
+// user-at-a-time lifetime the evaluation loop needs.
+func (e *Engine) userLabelWith(c *vertexDistCache, u socialnet.UserID, ar *refineArena) (*roadnet.HubLabel, bool) {
 	if l, ok := c.getLabel(u); ok {
 		return l, false
 	}
@@ -371,12 +415,38 @@ func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.Hub
 	if l, ok := e.sharedUserLabel(u); ok {
 		return l, false
 	}
+	if ar != nil {
+		l := ar.label()
+		before := cap(l.Hubs)
+		e.DS.Road.AttachLabel(e.DS.Users[u].At, l)
+		ar.labelGrew(before)
+		c.putLabelCopy(u, l)
+		return l, false
+	}
 	l := roadnet.AcquireLabel()
 	e.DS.Road.AttachLabel(e.DS.Users[u].At, l)
 	if c.putLabel(u, l) {
 		return l, false
 	}
 	return l, true
+}
+
+// ballKeywords collects the union of a ball's POI keywords, into the
+// arena's reusable bitset when one is available. The set is valid until
+// the next ballKeywords call on the same arena (one anchor at a time).
+func ballKeywords(ds *model.Dataset, ball []model.POIID, ar *refineArena) TopicSet {
+	var kws TopicSet
+	if ar != nil {
+		kws = ar.keywords(ds.NumTopics)
+	} else {
+		kws = NewTopicSet(ds.NumTopics)
+	}
+	for _, o := range ball {
+		for _, k := range ds.POIs[o].Keywords {
+			kws.Add(k)
+		}
+	}
+	return kws
 }
 
 // makeMOf builds the M(u) evaluator for one anchor ball:
@@ -402,9 +472,21 @@ func (e *Engine) userLabel(c *vertexDistCache, u socialnet.UserID) (*roadnet.Hub
 // shared-work memo (anchorBall); nil means prepare one here. Preparing
 // locally yields the same flattened label set, so the two paths are
 // interchangeable — the memo just skips the rebuild.
-func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, tl *roadnet.TargetLabels, keeper *sharedKeeper, ck *roadnet.Checkpoint) func(socialnet.UserID) float64 {
+//
+// ar, when non-nil, is the calling worker's arena: the attachment list,
+// the output buffer, and the source-label scratch come from it instead of
+// fresh allocations, so the steady state allocates nothing per anchor.
+// The evaluator is only valid until the same worker builds its next one
+// (they share the arena's buffers), which the one-anchor-at-a-time worker
+// loop guarantees.
+func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, tl *roadnet.TargetLabels, keeper *sharedKeeper, ck *roadnet.Checkpoint, ar *refineArena) func(socialnet.UserID) float64 {
 	ds := e.DS
-	ballAtts := make([]roadnet.Attach, len(ball))
+	var ballAtts []roadnet.Attach
+	if ar != nil {
+		ballAtts = ar.attachBuf(len(ball))
+	} else {
+		ballAtts = make([]roadnet.Attach, len(ball))
+	}
 	for i, o := range ball {
 		ballAtts[i] = ds.POIs[o].At
 	}
@@ -418,9 +500,14 @@ func (e *Engine) makeMOf(cache *vertexDistCache, ball []model.POIID, tl *roadnet
 		tl = ds.Road.PrepareTargetLabels(ballAtts)
 	}
 	if tl != nil {
-		out := make([]float64, len(ballAtts))
+		var out []float64
+		if ar != nil {
+			out = ar.floatBuf(len(ballAtts))
+		} else {
+			out = make([]float64, len(ballAtts))
+		}
 		return func(u socialnet.UserID) float64 {
-			lbl, pooled := e.userLabel(cache, u)
+			lbl, pooled := e.userLabelWith(cache, u, ar)
 			ds.Road.LabelDistsCk(lbl, ds.Users[u].At, tl, bound(), out, ck)
 			if pooled {
 				roadnet.ReleaseLabel(lbl)
@@ -476,6 +563,75 @@ func (e *Engine) userArray(c *vertexDistCache, u socialnet.UserID, ck *roadnet.C
 		c.putArray(u, dv)
 	}
 	return dv
+}
+
+// prefoldArrays runs the solo one-to-all sweeps the companion loop is
+// about to issue — one per θ-matching candidate missing from the cache —
+// as a single folded batch (DijkstraMultiBatchCk: k upward frontiers, one
+// shared scan), and parks the resulting arrays in the per-query cache so
+// the loop's evaluations all hit.
+//
+// Folding must never change an answer or a budget trip point, so it only
+// fires when it provably cannot:
+//
+//   - only on the no-incumbent array path (no labels attached, keeper
+//     bound still +Inf) — exactly the path where the loop would run one
+//     full unbounded Dijkstra per user, and where a cached exact array is
+//     what the evaluator reads first anyway;
+//   - never on budgeted queries: the batch charges the checkpoint k units
+//     per swept vertex, the sum of what the solo sweeps would charge, but
+//     in a different interleaving — equal totals, different trip points.
+//     Unbudgeted checkpoints only trip on cancellation, where the query
+//     errors out and no truncated answer exists to compare;
+//   - never when the cross-query memo is on (e.shared) — the memo already
+//     shares sweeps at user granularity and owns its arrays;
+//   - batches are capped to the cache slots actually left, so every folded
+//     array is admitted and consumed — no speculative work the solo path
+//     would not also have done (the SettledWork-parity argument at P=1).
+func (e *Engine) prefoldArrays(cache *vertexDistCache, cand []socialnet.UserID, kws TopicSet, theta float64, keeper *sharedKeeper, ck *roadnet.Checkpoint, ar *refineArena) {
+	ds := e.DS
+	if e.Opts.DisableSweepFold || e.shared != nil || ck.Budgeted() || ds.Road.HasLabels() {
+		return
+	}
+	if keeper == nil || !math.IsInf(keeper.Bound(), 1) {
+		return
+	}
+	var miss []socialnet.UserID
+	if ar != nil {
+		miss = ar.prefoldBuf()
+		defer func() { ar.keepPrefold(miss) }()
+	}
+	for _, u := range cand {
+		if MatchScoreSet(ds.Users[u].Interests, kws) < theta {
+			continue
+		}
+		if _, ok := cache.getArray(u); ok {
+			continue
+		}
+		miss = append(miss, u)
+	}
+	if room := cache.arrayCapacityLeft(int64(8 * ds.Road.NumVertices())); len(miss) > room {
+		miss = miss[:room]
+	}
+	if len(miss) < 2 {
+		return // nothing to fold; a solo sweep is already optimal
+	}
+	seeds := make([][]roadnet.Seed, len(miss))
+	for i, u := range miss {
+		at := ds.Users[u].At
+		edge := ds.Road.EdgeAt(at.Edge)
+		seeds[i] = []roadnet.Seed{
+			{Vertex: edge.U, Dist: at.T * edge.Weight},
+			{Vertex: edge.V, Dist: (1 - at.T) * edge.Weight},
+		}
+	}
+	dvs := ds.Road.DijkstraMultiBatchCk(seeds, ck)
+	if ck.Stopped() {
+		return // all-+Inf arrays must not be cached (userVertexDist rule)
+	}
+	for i, u := range miss {
+		cache.putArray(u, dvs[i])
+	}
 }
 
 // refine is Algorithm 2 lines 29-31: exact filtering of the candidate sets
@@ -550,7 +706,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 	}
 	var pairs atomic.Int64
 
-	processAnchor := func(ac anchorCand) {
+	processAnchor := func(ac anchorCand, ar *refineArena) {
 		ball, tl := e.anchorBall(ac.id, p.R, q.ck)
 		// A trip during ball construction leaves a degenerate ball; cached
 		// exact arrays could still price it finitely, so bail before any
@@ -558,19 +714,14 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		if q.ck.Stopped() {
 			return
 		}
-		kws := NewTopicSet(ds.NumTopics)
-		for _, o := range ball {
-			for _, k := range ds.POIs[o].Keywords {
-				kws.Add(k)
-			}
-		}
+		kws := ballKeywords(ds, ball, ar)
 		if MatchScoreSet(uqUser.Interests, kws) < p.Theta {
 			return
 		}
 		// M(u) = max_{o in ball} dist_RN(u, o); the group cost is
 		// max_{u in S} M(u). See makeMOf for the label-kernel and
 		// bound-truncation strategies and their soundness.
-		mOf := e.makeMOf(distCache, ball, tl, keeper, q.ck)
+		mOf := e.makeMOf(distCache, ball, tl, keeper, q.ck, ar)
 		mUq := mOf(uq)
 		// Strict comparison: a cost exactly equal to the bound may still
 		// tie the k-th best and win the canonical tie-break, so it must
@@ -598,11 +749,11 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 
 		// Eligible companions for this anchor: θ-match the ball and have a
 		// useful group cost.
-		type comp struct {
-			u socialnet.UserID
-			m float64
+		var comps []anchorComp
+		if ar != nil {
+			comps = ar.compsBuf()
+			defer func() { ar.keepComps(comps) }()
 		}
-		var comps []comp
 		anchorRD := e.poiRDOf(ac.id)
 		// Cheap feasibility count first: without tau-1 theta-matching
 		// candidates the anchor is dead, no distance work needed.
@@ -615,6 +766,10 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 		if matching < p.Tau-1 {
 			return
 		}
+		// Fold the one-to-all sweeps the loop below is about to run solo
+		// into one batched downward pass (no-op except on the unbudgeted
+		// no-incumbent array path; see prefoldArrays for the parity rules).
+		e.prefoldArrays(distCache, cand, kws, p.Theta, keeper, q.ck, ar)
 		for _, u := range cand {
 			if MatchScoreSet(ds.Users[u].Interests, kws) < p.Theta {
 				continue
@@ -628,13 +783,18 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 			if math.IsInf(m, 1) || math.Max(m, mUq) > keeper.Bound() {
 				continue
 			}
-			comps = append(comps, comp{u: u, m: m})
+			comps = append(comps, anchorComp{u: u, m: m})
 		}
 		if len(comps) < p.Tau-1 {
 			return
 		}
 		sort.Slice(comps, func(i, j int) bool { return comps[i].m < comps[j].m })
-		users := make([]socialnet.UserID, len(comps))
+		var users []socialnet.UserID
+		if ar != nil {
+			users = ar.userBuf(len(comps))
+		} else {
+			users = make([]socialnet.UserID, len(comps))
+		}
 		mv := map[socialnet.UserID]float64{uq: mUq}
 		for i, c := range comps {
 			users[i] = c.u
@@ -681,6 +841,8 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 			// matter what the caller recovers; capture it instead and
 			// re-raise it on the calling goroutine after wg.Wait.
 			defer q.capturePanic()
+			ar := e.acquireArena()
+			defer e.releaseArena(ar)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(anchors) {
@@ -709,7 +871,7 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 				if _, ok := failpoint.Eval("core.refine.panic"); ok {
 					panic("core: failpoint-injected refinement panic")
 				}
-				processAnchor(ac)
+				processAnchor(ac, ar)
 			}
 		}()
 	}
@@ -915,7 +1077,7 @@ func (e *Engine) anchorDists(cache *vertexDistCache, uq socialnet.UserID, anchor
 	}
 	out := make([]float64, len(anchors))
 	if tl := ds.Road.PrepareTargetLabels(atts); tl != nil {
-		lbl, pooled := e.userLabel(cache, uq)
+		lbl, pooled := e.userLabelWith(cache, uq, nil)
 		ds.Road.LabelDistsCk(lbl, ds.Users[uq].At, tl, math.Inf(1), out, ck)
 		if pooled {
 			roadnet.ReleaseLabel(lbl)

@@ -533,31 +533,7 @@ func genUsers(rng *rand.Rand, road *roadnet.Graph, cm *communities, c Config) []
 		if !ok {
 			panic("gen: road network has no edges")
 		}
-		for f := range inProfile {
-			inProfile[f] = false
-		}
-		for _, f := range cm.profiles[ci] {
-			inProfile[f] = true
-		}
-		w := make([]float64, c.Topics)
-		active := 0
-		for f := range w {
-			// Interests are strongly profile-driven: off-profile interests
-			// are very rare, which is what lets whole index nodes fall below the
-			// interest threshold (Lemma 8) the way the paper's real data
-			// does.
-			pAct := 0.002
-			if inProfile[f] {
-				pAct = 0.85
-			}
-			if rng.Float64() < pAct {
-				w[f] = drawProb(rng, c.Dist, z)
-				active++
-			}
-		}
-		if active == 0 {
-			w[cm.profiles[ci][rng.Intn(len(cm.profiles[ci]))]] = drawProb(rng, c.Dist, z)
-		}
+		w := drawInterestVector(rng, c, cm.profiles[ci], inProfile, z)
 		users[i] = model.User{
 			ID:        socialnet.UserID(i),
 			At:        at,
@@ -566,6 +542,38 @@ func genUsers(rng *rand.Rand, road *roadnet.Graph, cm *communities, c Config) []
 		}
 	}
 	return users
+}
+
+// drawInterestVector draws one user's interest vector from their
+// community profile: profile topics are active with probability 0.85 and
+// off-profile topics 0.002 — interests are strongly profile-driven, which
+// is what lets whole index nodes fall below the interest threshold
+// (Lemma 8) the way the paper's real data does. inProfile is caller-owned
+// scratch of length c.Topics. The rng draw sequence is exactly the loop
+// genUsers historically ran, so seeds reproduce the same datasets.
+func drawInterestVector(rng *rand.Rand, c Config, profile []int, inProfile []bool, z *zipfInt) []float64 {
+	for f := range inProfile {
+		inProfile[f] = false
+	}
+	for _, f := range profile {
+		inProfile[f] = true
+	}
+	w := make([]float64, c.Topics)
+	active := 0
+	for f := range w {
+		pAct := 0.002
+		if inProfile[f] {
+			pAct = 0.85
+		}
+		if rng.Float64() < pAct {
+			w[f] = drawProb(rng, c.Dist, z)
+			active++
+		}
+	}
+	if active == 0 {
+		w[profile[rng.Intn(len(profile))]] = drawProb(rng, c.Dist, z)
+	}
+	return w
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"gpssn/internal/model"
+	"gpssn/internal/snap"
+)
+
+// fingerprint serializes the whole dataset and checksums the bytes —
+// two datasets fingerprint equal iff every vertex, edge, user, interest
+// weight, friendship and POI keyword is bit-identical.
+func fingerprint(t *testing.T, d *model.Dataset) uint64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return snap.Checksum(buf.Bytes())
+}
+
+func TestLargeProducesValidConnectedNetwork(t *testing.T) {
+	d, err := Large(Config{
+		Name: "large-test", Seed: 3,
+		RoadVertices: 5000, SocialUsers: 2000, POIs: 1000, Topics: 8,
+	})
+	if err != nil {
+		t.Fatalf("Large: %v", err)
+	}
+	if d.Road.NumVertices() != 5000 || len(d.Users) != 2000 || len(d.POIs) != 1000 {
+		t.Fatalf("sizes: %d verts, %d users, %d POIs",
+			d.Road.NumVertices(), len(d.Users), len(d.POIs))
+	}
+	if !d.Road.IsConnected() {
+		t.Fatal("lattice road network must be connected")
+	}
+	if deg := d.Road.AvgDegree(); deg < 2.0 || deg > 3.0 {
+		t.Errorf("average road degree %.2f outside the realistic 2.0–3.0 band", deg)
+	}
+}
+
+func TestLargeZipfAndTinySizes(t *testing.T) {
+	if _, err := Large(Config{Seed: 1, RoadVertices: 2, SocialUsers: 1, POIs: 1, Topics: 2}); err == nil {
+		t.Error("sub-lattice vertex count must be rejected")
+	}
+	d, err := Large(Config{Seed: 1, RoadVertices: 9, SocialUsers: 5, POIs: 3, Topics: 4, Dist: Zipf})
+	if err != nil {
+		t.Fatalf("tiny zipf: %v", err)
+	}
+	if !d.Road.IsConnected() {
+		t.Error("tiny lattice must still be connected")
+	}
+}
+
+// TestGenDeterministicAcrossGOMAXPROCS is the determinism audit the 1M
+// tier depends on: the same seed must produce the bit-identical dataset
+// whatever the host's parallelism, because benchmark artifacts
+// (BENCH_scale1m.json) are only comparable across machines if the
+// underlying data is. Generation is sequential by construction; this test
+// keeps it that way. Large runs at 100K vertices (its production shape);
+// Synthetic — whose R-tree road builder is costlier — runs smaller.
+func TestGenDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100K-vertex generation in -short mode")
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	largeCfg := Config{
+		Name: "determinism-100k", Seed: 42,
+		RoadVertices: 100_000, SocialUsers: 50_000, POIs: 20_000, Topics: 16,
+	}
+	synCfg := smallCfg(Zipf, 42)
+
+	gen := func(procs int) (uint64, uint64) {
+		runtime.GOMAXPROCS(procs)
+		dl, err := Large(largeCfg)
+		if err != nil {
+			t.Fatalf("Large @ GOMAXPROCS=%d: %v", procs, err)
+		}
+		ds, err := Synthetic(synCfg)
+		if err != nil {
+			t.Fatalf("Synthetic @ GOMAXPROCS=%d: %v", procs, err)
+		}
+		return fingerprint(t, dl), fingerprint(t, ds)
+	}
+	l1, s1 := gen(1)
+	l8, s8 := gen(8)
+	if l1 != l8 {
+		t.Errorf("Large fingerprint differs across GOMAXPROCS: %x vs %x", l1, l8)
+	}
+	if s1 != s8 {
+		t.Errorf("Synthetic fingerprint differs across GOMAXPROCS: %x vs %x", s1, s8)
+	}
+}

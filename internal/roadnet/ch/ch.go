@@ -53,6 +53,15 @@ type Oracle struct {
 // NumShortcuts reports how many shortcut edges preprocessing added.
 func (o *Oracle) NumShortcuts() int { return o.shortcuts }
 
+// MemoryBytes reports the resident size of the hierarchy (rank array,
+// rank order, both CSR adjacencies) for capacity telemetry.
+func (o *Oracle) MemoryBytes() int64 {
+	csrBytes := func(c *csr) int64 {
+		return int64(len(c.off))*4 + int64(len(c.to))*4 + int64(len(c.w))*8
+	}
+	return int64(len(o.rank))*4 + int64(len(o.byRankDesc))*4 + csrBytes(&o.up) + csrBytes(&o.down)
+}
+
 // NumVertices reports the size of the graph snapshot the oracle covers.
 func (o *Oracle) NumVertices() int { return o.n }
 

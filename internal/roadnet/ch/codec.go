@@ -87,6 +87,12 @@ func decodeCSR(d *snap.Dec, n int) (csr, error) {
 	if n < 0 || len(c.off) != n+1 {
 		return c, fmt.Errorf("offset array has %d entries, want %d", len(c.off), n+1)
 	}
+	// The in-memory CSR indexes arcs through int32 offsets; a payload
+	// declaring more arcs than int32 can address is rejected with the
+	// typed overflow error rather than silently wrapping the offsets.
+	if int64(len(c.to)) > int64(math.MaxInt32) {
+		return c, fmt.Errorf("arc count %d: %w", len(c.to), snap.ErrCountOverflow)
+	}
 	if c.off[0] != 0 {
 		return c, fmt.Errorf("offset array starts at %d", c.off[0])
 	}

@@ -10,26 +10,34 @@ import (
 
 // Encode serializes the labels into a snapshot section payload. The CH the
 // labels were extracted from is serialized separately (the snapshot keeps
-// it as its own checksummed section), so the payload is just the CSR label
-// store.
+// it as its own checksummed section), so the payload is just the
+// rank-space CSR label store: the position map is derived from the CH's
+// rank array on decode, and the offsets are int64 on the wire (uint64
+// length prefix) so an entry count past int32 round-trips without
+// truncation. Slice counts that cannot fit their length prefix stick a
+// snap.ErrCountOverflow on the encoder instead of writing a wrapped
+// prefix; the snapshot writer checks Enc.Err before framing the section.
 func (o *Oracle) Encode(e *snap.Enc) {
 	e.U32(uint32(o.n))
-	e.I32s(o.off)
+	e.I64s(o.off)
 	e.I32s(o.hub)
 	e.F64s(o.dist)
 }
 
 // Decode reconstructs a label oracle over an already-restored contraction
 // hierarchy, validating the invariants the two-pointer merges rely on:
-// offsets monotone, hubs in range and strictly ascending within each
-// label, every vertex's own (v, 0) self-entry present, and distances
+// offsets monotone with a total that fits the platform, hubs strictly
+// ascending rank positions within each label and never above the owner's
+// own position, every label closed by its (p, 0) self-entry, and distances
 // finite and non-negative. The 2-hop cover property itself is not
 // re-provable from the bytes alone — but a label store that passes these
 // checks and was written by Encode is bit-identical to the saved oracle,
 // and any tampering that survives them is caught by the section CRC first.
+// Counts a 32-bit platform cannot index fail with snap.ErrCountOverflow
+// (sticky on the decoder), never a silent truncation.
 func Decode(d *snap.Dec, c *ch.Oracle) (*Oracle, error) {
 	n := int(int32(d.U32()))
-	off := d.I32s()
+	off := d.I64s()
 	hub := d.I32s()
 	dist := d.F64s()
 	if err := d.Err(); err != nil {
@@ -44,7 +52,7 @@ func Decode(d *snap.Dec, c *ch.Oracle) (*Oracle, error) {
 	if len(off) != n+1 {
 		return nil, fmt.Errorf("hl: offset array has %d entries, want %d", len(off), n+1)
 	}
-	if n >= 0 && (len(off) == 0 || off[0] != 0) {
+	if len(off) == 0 || off[0] != 0 {
 		return nil, fmt.Errorf("hl: offset array must start at 0")
 	}
 	for i := 1; i <= n; i++ {
@@ -52,35 +60,42 @@ func Decode(d *snap.Dec, c *ch.Oracle) (*Oracle, error) {
 			return nil, fmt.Errorf("hl: offset array not monotone at %d", i)
 		}
 	}
+	if total := off[n]; total > int64(math.MaxInt) {
+		return nil, fmt.Errorf("hl: label store holds %d entries: %w", total, snap.ErrCountOverflow)
+	}
 	if int(off[n]) != len(hub) || len(hub) != len(dist) {
 		return nil, fmt.Errorf("hl: label arrays inconsistent (off=%d hub=%d dist=%d)", off[n], len(hub), len(dist))
 	}
 	o := &Oracle{cho: c, n: n, off: off, hub: hub, dist: dist}
-	for v := 0; v < n; v++ {
-		self := false
-		for i := off[v]; i < off[v+1]; i++ {
+	o.pos = make([]int32, n)
+	for p, v := range c.VerticesByRankDesc() {
+		o.pos[v] = int32(p)
+	}
+	for p := 0; p < n; p++ {
+		lo, hi := off[p], off[p+1]
+		if lo == hi {
+			return nil, fmt.Errorf("hl: rank position %d has an empty label (self-entry missing)", p)
+		}
+		for i := lo; i < hi; i++ {
 			h := hub[i]
-			if h < 0 || int(h) >= n {
-				return nil, fmt.Errorf("hl: vertex %d hub %d out of range [0,%d)", v, h, n)
+			if h < 0 || int(h) > p {
+				return nil, fmt.Errorf("hl: rank position %d hub %d outside rank space [0,%d]", p, h, p)
 			}
-			if i > off[v] && hub[i-1] >= h {
-				return nil, fmt.Errorf("hl: vertex %d label not strictly ascending at entry %d", v, i-off[v])
+			if i > lo && hub[i-1] >= h {
+				return nil, fmt.Errorf("hl: rank position %d label not strictly ascending at entry %d", p, i-lo)
 			}
 			if dd := dist[i]; math.IsNaN(dd) || math.IsInf(dd, 0) || dd < 0 {
-				return nil, fmt.Errorf("hl: vertex %d hub %d distance %v not finite non-negative", v, h, dd)
-			}
-			if int(h) == v {
-				if dist[i] != 0 {
-					return nil, fmt.Errorf("hl: vertex %d self-entry distance %v, want 0", v, dist[i])
-				}
-				self = true
+				return nil, fmt.Errorf("hl: rank position %d hub %d distance %v not finite non-negative", p, h, dd)
 			}
 		}
-		if size := int(off[v+1] - off[v]); size > o.maxLabel {
+		if int(hub[hi-1]) != p {
+			return nil, fmt.Errorf("hl: rank position %d label lacks its self-entry", p)
+		}
+		if dist[hi-1] != 0 {
+			return nil, fmt.Errorf("hl: rank position %d self-entry distance %v, want 0", p, dist[hi-1])
+		}
+		if size := int(hi - lo); size > o.maxLabel {
 			o.maxLabel = size
-		}
-		if !self && off[v+1] > off[v] {
-			return nil, fmt.Errorf("hl: vertex %d label lacks its self-entry", v)
 		}
 	}
 	return o, nil

@@ -22,6 +22,29 @@
 // pruned (q >= dist(v, h) = d), which keeps the cover property intact.
 // docs/ALGORITHMS.md spells out the full argument.
 //
+// # Memory layout (rank space)
+//
+// The store renumbers vertices into rank space: vertex v becomes the rank
+// position p = n-1-rank(v), so the highest-ranked vertex is 0. Hubs inside
+// labels are stored as rank positions, and the label CSR itself is laid
+// out in rank-position order. Two properties follow:
+//
+//   - Hub ids inside a label are ≤ the owner's position, with the owner's
+//     own self-entry exactly at the end. Globally important hubs (small
+//     ids, shared by almost every label) cluster at label fronts, so the
+//     two-pointer merge finds its common hubs early and label prefixes
+//     stay hot in cache across queries.
+//   - Construction runs in CSR order. Vertex p's candidates are built from
+//     already-finished labels at positions < p, read straight back out of
+//     the growing CSR — there is no per-vertex [][]entry intermediate, so
+//     peak construction memory is the final store plus one candidate
+//     buffer. That is what lets a ~10⁸-entry store at a million vertices
+//     build without doubling its footprint.
+//
+// Offsets are int64: 1M vertices × ~100-entry labels is within a factor of
+// 20 of an int32 offset overflow, and the codec guards the conversion
+// explicitly instead of truncating (see codec.go).
+//
 // The oracle keeps the CH it was built from: one-to-all scans still run
 // the CH's PHAST sweep (a label-based one-to-all would cost Σ|label| per
 // query and lose to PHAST's linear pass), while point-to-point and
@@ -30,6 +53,7 @@ package hl
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -44,9 +68,12 @@ type Oracle struct {
 	cho *ch.Oracle
 	n   int
 
-	// Per-vertex labels in CSR form: vertex v's (hub, dist) entries occupy
-	// [off[v], off[v+1]) in hub/dist, sorted by ascending hub id.
-	off  []int32
+	// Labels in CSR form, laid out and numbered in rank space: the label
+	// of the vertex at rank position p occupies [off[p], off[p+1]) in
+	// hub/dist, sorted by ascending rank-space hub id (so its self-entry,
+	// id p, is last). pos maps a graph vertex id to its rank position.
+	pos  []int32
+	off  []int64
 	hub  []int32
 	dist []float64
 
@@ -58,17 +85,28 @@ type Oracle struct {
 func Build(g *roadnet.Graph) *Oracle { return FromCH(ch.Build(g)) }
 
 // FromCH extracts hub labels from an already-built contraction hierarchy.
+// Construction streams: vertices are processed in rank-position order and
+// their pruned labels appended directly to the CSR, which the pruning
+// lookups of later vertices then read back — no per-vertex slice table.
 func FromCH(c *ch.Oracle) *Oracle {
 	n := c.NumVertices()
 	o := &Oracle{cho: c, n: n}
-	labels := make([][]labEntry, n)
+	byRank := c.VerticesByRankDesc()
+	o.pos = make([]int32, n)
+	for p, v := range byRank {
+		o.pos[v] = int32(p)
+	}
+	o.off = make([]int64, n+1)
+	o.hub = make([]int32, 0, 8*n)
+	o.dist = make([]float64, 0, 8*n)
 	var cand []labEntry
-	for _, v := range c.VerticesByRankDesc() {
-		cand = append(cand[:0], labEntry{hub: v, d: 0})
+	for p, v := range byRank {
+		cand = cand[:0]
 		to, w := c.UpArcs(v)
 		for k := range to {
-			for _, e := range labels[to[k]] {
-				cand = append(cand, labEntry{hub: e.hub, d: e.d + w[k]})
+			hH, hD := o.labelAt(o.pos[to[k]])
+			for i, h := range hH {
+				cand = append(cand, labEntry{hub: h, d: hD[i] + w[k]})
 			}
 		}
 		sort.Slice(cand, func(i, j int) bool {
@@ -78,7 +116,9 @@ func FromCH(c *ch.Oracle) *Oracle {
 			return cand[i].d < cand[j].d
 		})
 		// Collapse duplicate hubs to their minimum distance (in place; the
-		// sort put the minimum first in each run).
+		// sort put the minimum first in each run), then append the
+		// self-entry: every candidate hub comes from a finished label at a
+		// position < p, so id p is strictly the largest and lands last.
 		dedup := cand[:0]
 		for _, e := range cand {
 			if len(dedup) > 0 && dedup[len(dedup)-1].hub == e.hub {
@@ -86,39 +126,26 @@ func FromCH(c *ch.Oracle) *Oracle {
 			}
 			dedup = append(dedup, e)
 		}
+		dedup = append(dedup, labEntry{hub: int32(p), d: 0})
 		// Bootstrap pruning: drop entries a finished higher label already
-		// certifies a strictly shorter path for.
-		kept := make([]labEntry, 0, len(dedup))
+		// certifies a strictly shorter path for, appending survivors
+		// straight onto the CSR.
 		for _, e := range dedup {
-			if e.hub != v && prunable(dedup, labels[e.hub], e.d) {
-				continue
+			if e.hub != int32(p) {
+				hH, hD := o.labelAt(e.hub)
+				if prunable(dedup, hH, hD, e.d) {
+					continue
+				}
 			}
-			kept = append(kept, e)
+			o.hub = append(o.hub, e.hub)
+			o.dist = append(o.dist, e.d)
 		}
-		labels[v] = kept
+		o.off[p+1] = int64(len(o.hub))
+		if size := int(o.off[p+1] - o.off[p]); size > o.maxLabel {
+			o.maxLabel = size
+		}
 		cand = dedup
 	}
-
-	o.off = make([]int32, n+1)
-	total := 0
-	for v := 0; v < n; v++ {
-		total += len(labels[v])
-		if len(labels[v]) > o.maxLabel {
-			o.maxLabel = len(labels[v])
-		}
-	}
-	o.hub = make([]int32, total)
-	o.dist = make([]float64, total)
-	pos := int32(0)
-	for v := 0; v < n; v++ {
-		o.off[v] = pos
-		for _, e := range labels[v] {
-			o.hub[pos] = e.hub
-			o.dist[pos] = e.d
-			pos++
-		}
-	}
-	o.off[n] = pos
 	return o
 }
 
@@ -131,16 +158,16 @@ type labEntry struct {
 // label of a hub certify a distance strictly below d. It early-exits on
 // the first witness, which is what keeps construction near-linear in the
 // label sizes in practice.
-func prunable(cand []labEntry, hubLabel []labEntry, d float64) bool {
+func prunable(cand []labEntry, hH []int32, hD []float64, d float64) bool {
 	i, j := 0, 0
-	for i < len(cand) && j < len(hubLabel) {
+	for i < len(cand) && j < len(hH) {
 		switch {
-		case cand[i].hub < hubLabel[j].hub:
+		case cand[i].hub < hH[j]:
 			i++
-		case cand[i].hub > hubLabel[j].hub:
+		case cand[i].hub > hH[j]:
 			j++
 		default:
-			if cand[i].d+hubLabel[j].d < d {
+			if cand[i].d+hD[j] < d {
 				return true
 			}
 			i++
@@ -170,15 +197,28 @@ func (o *Oracle) AvgLabelSize() float64 {
 // MaxLabelSize reports the longest label.
 func (o *Oracle) MaxLabelSize() int { return o.maxLabel }
 
+// MemoryBytes reports the resident size of the label store (offsets,
+// position map, hubs, distances) for capacity telemetry.
+func (o *Oracle) MemoryBytes() int64 {
+	return int64(len(o.off))*8 + int64(len(o.pos))*4 + int64(len(o.hub))*4 + int64(len(o.dist))*8
+}
+
 // label returns vertex v's entries as read-only subslices.
 func (o *Oracle) label(v int32) (hubs []int32, dist []float64) {
-	return o.hub[o.off[v]:o.off[v+1]], o.dist[o.off[v]:o.off[v+1]]
+	return o.labelAt(o.pos[v])
+}
+
+// labelAt returns the entries of the vertex at rank position p.
+func (o *Oracle) labelAt(p int32) (hubs []int32, dist []float64) {
+	lo, hi := o.off[p], o.off[p+1]
+	return o.hub[lo:hi], o.dist[lo:hi]
 }
 
 // scratch holds the pooled per-query merge buffers.
 type scratch struct {
 	src roadnet.HubLabel
 	tmp roadnet.HubLabel
+	ord []int64 // (rank position << 32 | target index) sort keys
 }
 
 func (o *Oracle) getScratch() *scratch {
@@ -246,7 +286,10 @@ func (o *Oracle) seedLabelInto(seeds []roadnet.Seed, dst, tmp *roadnet.HubLabel)
 
 // mergeDist is the hub-label distance query: min over common hubs of the
 // two labels' distance sums, +Inf when the labels share no hub (the pair
-// is disconnected).
+// is disconnected). The iteration is structured around the hub arrays
+// alone — four-byte ids, sixteen per cache line — touching the distance
+// arrays only on an id match, with the mismatch branches first because
+// matches are the rare case in a two-pointer label merge.
 func mergeDist(aH []int32, aD []float64, bH []int32, bD []float64) float64 {
 	best := math.Inf(1)
 	i, j := 0, 0
@@ -257,9 +300,10 @@ func mergeDist(aH []int32, aD []float64, bH []int32, bD []float64) float64 {
 		case aH[i] > bH[j]:
 			j++
 		default:
-			if d := aD[i] + bD[j]; d < best {
-				best = d
-			}
+			// min() compiles branchless (MINSD): in rank space common hubs
+			// arrive most-important-first, so the running minimum improves
+			// on most matches and a conditional update would mispredict.
+			best = min(best, aD[i]+bD[j])
 			i++
 			j++
 		}
@@ -282,6 +326,13 @@ func (o *Oracle) SeedDistancesCk(sources []roadnet.Seed, targets []roadnet.Verte
 	return o.seedDistances(sources, targets, bound, ck)
 }
 
+// blockTargets is the batch size past which seedDistances re-orders its
+// target visits by rank position: the CSR is laid out in rank order, so a
+// rank-ordered walk reads the label store sequentially, and duplicate
+// target vertices (attachment endpoints repeat heavily) become adjacent
+// and merge once. Below it the permutation costs more than it saves.
+const blockTargets = 8
+
 func (o *Oracle) seedDistances(sources []roadnet.Seed, targets []roadnet.VertexID, bound float64, ck *roadnet.Checkpoint) []float64 {
 	inf := math.Inf(1)
 	res := make([]float64, len(targets))
@@ -293,18 +344,59 @@ func (o *Oracle) seedDistances(sources []roadnet.Seed, targets []roadnet.VertexI
 	}
 	sc := o.getScratch()
 	o.seedLabelInto(sources, &sc.src, &sc.tmp)
+	srcH, srcD := sc.src.Hubs, sc.src.Dist
+
+	// Visit targets in rank-position order when the batch is large enough
+	// to pay for the permutation: the label CSR is contiguous in that
+	// order, and equal positions (duplicate vertices) land adjacent so the
+	// merge runs once per distinct vertex. Work is still charged per
+	// target — exactly what the unordered loop would spend — so budget
+	// accounting is independent of the visit order.
+	ordered := len(targets) >= blockTargets
+	if ordered {
+		if cap(sc.ord) < len(targets) {
+			sc.ord = make([]int64, len(targets))
+		}
+		sc.ord = sc.ord[:len(targets)]
+		for i, t := range targets {
+			sc.ord[i] = int64(o.pos[t])<<32 | int64(uint32(i))
+		}
+		slices.Sort(sc.ord)
+	}
 	spent := 0
-	for i, t := range targets {
-		tH, tD := o.label(int32(t))
+	prevPos := int32(-1)
+	prevD := inf
+	for k := range targets {
+		i := k
+		var tH []int32
+		var tD []float64
+		var p int32
+		if ordered {
+			key := sc.ord[k]
+			p = int32(key >> 32)
+			i = int(uint32(key))
+			tH, tD = o.labelAt(p)
+		} else {
+			p = o.pos[targets[k]]
+			tH, tD = o.labelAt(p)
+		}
 		if ck != nil {
-			if spent += len(tH) + len(sc.src.Hubs); spent >= 1024 {
+			if spent += len(tH) + len(srcH); spent >= 1024 {
 				if ck.Spend(spent) {
 					break
 				}
 				spent = 0
 			}
 		}
-		if d := mergeDist(sc.src.Hubs, sc.src.Dist, tH, tD); d <= bound {
+		if ordered && p == prevPos {
+			if prevD <= bound {
+				res[i] = prevD
+			}
+			continue
+		}
+		d := mergeDist(srcH, srcD, tH, tD)
+		prevPos, prevD = p, d
+		if d <= bound {
 			res[i] = d
 		}
 	}
@@ -324,6 +416,12 @@ func (o *Oracle) OneToAll(sources []roadnet.Seed) []float64 {
 // checked PHAST sweep.
 func (o *Oracle) OneToAllCk(sources []roadnet.Seed, ck *roadnet.Checkpoint) []float64 {
 	return o.cho.OneToAllCk(sources, ck)
+}
+
+// OneToAllBatchCk implements roadnet.BatchOracle by delegating to the CH's
+// folded PHAST sweep.
+func (o *Oracle) OneToAllBatchCk(sources [][]roadnet.Seed, ck *roadnet.Checkpoint) [][]float64 {
+	return o.cho.OneToAllBatchCk(sources, ck)
 }
 
 var (

@@ -141,6 +141,23 @@ func TestStatszSharedWork(t *testing.T) {
 		t.Fatalf("shared_work shows no memo traffic: %s", m["shared_work"])
 	}
 
+	var mem struct {
+		OracleBytes int64  `json:"oracle_bytes"`
+		ArenaBytes  int64  `json:"arena_bytes"`
+		HeapAlloc   uint64 `json:"heap_alloc_bytes"`
+	}
+	if err := json.Unmarshal(m["memory"], &mem); err != nil {
+		t.Fatalf("decoding memory block: %v", err)
+	}
+	// The test server runs with the default hl oracle and has answered
+	// real queries, so both the label store and the heap must be nonzero.
+	if mem.OracleBytes <= 0 {
+		t.Errorf("memory.oracle_bytes = %d, want > 0: %s", mem.OracleBytes, m["memory"])
+	}
+	if mem.HeapAlloc == 0 {
+		t.Errorf("memory.heap_alloc_bytes = 0: %s", m["memory"])
+	}
+
 	// Identical requests coalesce in flight before reaching the engine, so
 	// memo hits need the cache-busting spread below: distinct users whose
 	// probes still share anchors.

@@ -66,6 +66,24 @@ type metricsSnapshot struct {
 	// Engine shared-work memo counters; omitted when the layer is
 	// disabled (Config.DisableSharedWork at the facade).
 	SharedWork *sharedWorkJSON `json:"shared_work,omitempty"`
+
+	// Memory accounting: engine-owned structures plus the Go heap.
+	// Always present.
+	Memory *memoryJSON `json:"memory,omitempty"`
+}
+
+// memoryJSON mirrors gpssn.MemoryStats for /statsz: where the process's
+// memory actually lives. oracle_bytes is the capacity-planning headline
+// (the preprocessed label store dominates at scale); arena_bytes and
+// memo_bytes are the engine's recycled scratch; the heap fields are the
+// runtime's own view for cross-checking against RSS.
+type memoryJSON struct {
+	OracleBytes int64  `json:"oracle_bytes"`
+	ArenaBytes  int64  `json:"arena_bytes"`
+	MemoBytes   int64  `json:"memo_bytes"`
+	HeapAlloc   uint64 `json:"heap_alloc_bytes"`
+	HeapSys     uint64 `json:"heap_sys_bytes"`
+	NumGC       uint32 `json:"gc_cycles_total"`
 }
 
 // sharedWorkJSON mirrors gpssn.SharedWorkStats for /statsz. HitRate is

@@ -268,6 +268,15 @@ func (s *Server) snapshot() metricsSnapshot {
 		}
 		snap.SharedWork = &j
 	}
+	ms := s.db.MemoryStats()
+	snap.Memory = &memoryJSON{
+		OracleBytes: ms.OracleBytes,
+		ArenaBytes:  ms.ArenaBytes,
+		MemoBytes:   ms.MemoBytes,
+		HeapAlloc:   ms.HeapAlloc,
+		HeapSys:     ms.HeapSys,
+		NumGC:       ms.NumGC,
+	}
 	return snap
 }
 

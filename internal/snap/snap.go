@@ -14,6 +14,7 @@ package snap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc64"
 	"io"
@@ -21,6 +22,13 @@ import (
 
 	"gpssn/internal/failpoint"
 )
+
+// ErrCountOverflow reports a declared element count that the platform (or
+// the wire format's length prefix) cannot represent. Encoders fail with it
+// instead of silently truncating a uint32 length prefix; decoders fail
+// with it instead of letting `int(u32)` or an int64 offset wrap on 32-bit
+// platforms. Match with errors.Is.
+var ErrCountOverflow = errors.New("snap: element count overflows representable bounds")
 
 // Magic identifies a GP-SSN snapshot file; the last byte is the format
 // version.
@@ -199,8 +207,17 @@ func plausibleTag(tag string) bool {
 	return true
 }
 
-// Enc is an append-only little-endian encoder for section payloads.
-type Enc struct{ B []byte }
+// Enc is an append-only little-endian encoder for section payloads. Slice
+// writes whose length cannot fit their length prefix record a sticky
+// ErrCountOverflow instead of truncating; callers check Err once after
+// encoding, before the payload is framed.
+type Enc struct {
+	B   []byte
+	err error
+}
+
+// Err returns the sticky encode error, if any.
+func (e *Enc) Err() error { return e.err }
 
 // U32 appends a uint32.
 func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
@@ -213,14 +230,31 @@ func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
 
 // I32s appends a length-prefixed []int32.
 func (e *Enc) I32s(v []int32) {
+	if uint64(len(v)) > math.MaxUint32 && e.err == nil {
+		e.err = fmt.Errorf("snap: int32 slice length %d: %w", len(v), ErrCountOverflow)
+		return
+	}
 	e.U32(uint32(len(v)))
 	for _, x := range v {
 		e.U32(uint32(x))
 	}
 }
 
+// I64s appends a length-prefixed []int64 (uint64 length prefix, so the
+// count itself can never truncate).
+func (e *Enc) I64s(v []int64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.U64(uint64(x))
+	}
+}
+
 // F64s appends a length-prefixed []float64.
 func (e *Enc) F64s(v []float64) {
+	if uint64(len(v)) > math.MaxUint32 && e.err == nil {
+		e.err = fmt.Errorf("snap: float64 slice length %d: %w", len(v), ErrCountOverflow)
+		return
+	}
 	e.U32(uint32(len(v)))
 	for _, x := range v {
 		e.F64(x)
@@ -247,6 +281,12 @@ func (d *Dec) Done() bool { return d.err == nil && d.off == len(d.B) }
 func (d *Dec) fail(format string, args ...any) {
 	if d.err == nil {
 		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *Dec) failErr(err error) {
+	if d.err == nil {
+		d.err = err
 	}
 }
 
@@ -286,10 +326,15 @@ func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
 
 // I32s reads a length-prefixed []int32 written by Enc.I32s.
 func (d *Dec) I32s() []int32 {
-	n := int(d.U32())
+	n32 := d.U32()
 	if d.err != nil {
 		return nil
 	}
+	if uint64(n32) > uint64(math.MaxInt)/4 {
+		d.failErr(fmt.Errorf("snap: int32 slice length %d: %w", n32, ErrCountOverflow))
+		return nil
+	}
+	n := int(n32)
 	if len(d.B)-d.off < n*4 {
 		d.fail("snap: int32 slice length %d exceeds remaining payload", n)
 		return nil
@@ -301,12 +346,42 @@ func (d *Dec) I32s() []int32 {
 	return out
 }
 
-// F64s reads a length-prefixed []float64 written by Enc.F64s.
-func (d *Dec) F64s() []float64 {
-	n := int(d.U32())
+// I64s reads a length-prefixed []int64 written by Enc.I64s. The uint64
+// count is bounds-checked against both the platform int and the remaining
+// payload before allocating; counts past either fail with a sticky
+// ErrCountOverflow.
+func (d *Dec) I64s() []int64 {
+	n64 := d.U64()
 	if d.err != nil {
 		return nil
 	}
+	if n64 > uint64(math.MaxInt)/8 {
+		d.failErr(fmt.Errorf("snap: int64 slice length %d: %w", n64, ErrCountOverflow))
+		return nil
+	}
+	n := int(n64)
+	if len(d.B)-d.off < n*8 {
+		d.fail("snap: int64 slice length %d exceeds remaining payload", n)
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.U64())
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64 written by Enc.F64s.
+func (d *Dec) F64s() []float64 {
+	n32 := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n32) > uint64(math.MaxInt)/8 {
+		d.failErr(fmt.Errorf("snap: float64 slice length %d: %w", n32, ErrCountOverflow))
+		return nil
+	}
+	n := int(n32)
 	if len(d.B)-d.off < n*8 {
 		d.fail("snap: float64 slice length %d exceeds remaining payload", n)
 		return nil

@@ -82,3 +82,11 @@ func (s Set) Vocabulary() int { return s.d }
 
 // SizeBytes returns the payload size, used for page-layout accounting.
 func (s Set) SizeBytes() int { return len(s.words) * 8 }
+
+// Clear removes every topic, keeping the allocation — scratch sets in
+// per-worker arenas are reused across anchors this way.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}

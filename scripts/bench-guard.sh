@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench-guard: re-run the smoke benchmarks and fail if the fresh p50-class
+# latencies regress more than 2x against the committed BENCH_*.json.
+#
+# The committed JSONs are the performance record of the machine that wrote
+# them; a fresh run on different hardware moves every number by a constant
+# factor, which a 2x gate absorbs. What it catches is the accidental
+# algorithmic cliff — a merge kernel gone quadratic, an oracle silently
+# falling back to Dijkstra — which shifts the guarded metrics by 10-1000x.
+# CI wires this as a non-blocking job: shared-runner noise can exceed 2x
+# under co-tenancy, so a red guard is a prompt to look, not a merge block.
+#
+# Usage: scripts/bench-guard.sh [factor]   (default factor: 2.0)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FACTOR="${1:-2.0}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Latency-style metrics guarded per report (lower is better). Throughput
+# and speedup ratios are deliberately not guarded: they already move when
+# a latency does, and double-counting doubles the noise.
+guarded_keys() {
+  case "$1" in
+    BENCH_choracle.json) echo "avg_query_cpu_ch_ms ch_p2p_us_per_op" ;;
+    BENCH_hublabel.json) echo "avg_query_cpu_hl_ms hl_p2p_us_per_op" ;;
+  esac
+}
+
+echo "bench-guard: fresh smoke run (factor ${FACTOR}x)"
+go run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout "$TMP/BENCH_choracle.json"
+go run ./cmd/gpssn-bench -exp hublabel -scale 0.05 -queries 4 -jsonout "$TMP/BENCH_hublabel.json"
+
+# extract FILE KEY -> all values of that key, one per line, in file order.
+# The reports are the pretty-printed output of encoding/json, so every
+# scalar sits alone on its own `"key": value,` line.
+extract() {
+  sed -n 's/^[[:space:]]*"'"$2"'":[[:space:]]*\([0-9.eE+-]*\),\{0,1\}$/\1/p' "$1"
+}
+
+fail=0
+for report in BENCH_choracle.json BENCH_hublabel.json; do
+  if ! git cat-file -e "HEAD:$report" 2>/dev/null; then
+    echo "bench-guard: $report not committed yet, skipping"
+    continue
+  fi
+  git show "HEAD:$report" > "$TMP/committed_$report"
+  for key in $(guarded_keys "$report"); do
+    old_vals=$(extract "$TMP/committed_$report" "$key")
+    new_vals=$(extract "$TMP/$report" "$key")
+    if [ -z "$old_vals" ] || [ -z "$new_vals" ]; then
+      echo "bench-guard: $report: key $key missing from one side, skipping"
+      continue
+    fi
+    i=0
+    while read -r old <&3 && read -r new <&4; do
+      i=$((i + 1))
+      # Sub-millisecond / sub-microsecond baselines are timer-noise bound;
+      # only guard values large enough for a ratio to mean anything.
+      verdict=$(awk -v o="$old" -v n="$new" -v f="$FACTOR" \
+        'BEGIN { if (o < 0.05) print "tiny"; else if (n > o * f) print "regress"; else print "ok" }')
+      case "$verdict" in
+        regress)
+          echo "bench-guard: FAIL $report $key[$i]: $old -> $new (> ${FACTOR}x)"
+          fail=1 ;;
+        tiny)
+          echo "bench-guard:  ---  $report $key[$i]: baseline $old too small to guard" ;;
+        ok)
+          echo "bench-guard:  ok   $report $key[$i]: $old -> $new" ;;
+      esac
+    done 3<<< "$old_vals" 4<<< "$new_vals"
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench-guard: latency regression past ${FACTOR}x detected"
+  exit 1
+fi
+echo "bench-guard: all guarded metrics within ${FACTOR}x"

@@ -103,11 +103,20 @@ func (db *DB) Snapshot(path string) (err error) {
 		eh.U64(fp)
 		o.Encode(&eh)
 		hlPayload = eh.B
+		if err := ec.Err(); err != nil {
+			return fmt.Errorf("gpssn: snapshot: %w", err)
+		}
+		if err := eh.Err(); err != nil {
+			return fmt.Errorf("gpssn: snapshot: %w", err)
+		}
 	case *ch.Oracle:
 		var ec snap.Enc
 		ec.U64(fp)
 		o.Encode(&ec)
 		chPayload = ec.B
+		if err := ec.Err(); err != nil {
+			return fmt.Errorf("gpssn: snapshot: %w", err)
+		}
 	}
 
 	if err := failpoint.Error("snapshot.create"); err != nil {
