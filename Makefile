@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix bench-parallel bench-smoke bench-serve bench-scale bench-guard
+.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix churn-suite bench-parallel bench-smoke bench-churn bench-serve bench-scale bench-guard
 
 check: vet lint build test race
 
@@ -62,6 +62,13 @@ fuzz-smoke:
 snapshot-matrix:
 	$(GO) test -run 'TestSnapshot|TestOpenSnapshot' -count=1 -v .
 
+# The road-churn suite under -race: delta-overlay equality gates across
+# all oracle backends (pre/during/post background Compact), the
+# concurrent-mutation interleavings, and the rebuild-failure fallback
+# (docs/CONCURRENCY.md §7, docs/ROBUSTNESS.md §6).
+churn-suite:
+	$(GO) test -race -run 'TestRoadChurn|TestDBConcurrentRoadChurn|TestCompact|TestRoadOverlay|TestRoadMutation|TestAddFriendshipInvalid|TestDuplicateFriendship|TestOverlay' -count=1 -v . ./internal/roadnet/
+
 # The parallel-refinement speedup table (recorded in EXPERIMENTS.md).
 bench-parallel:
 	$(GO) run ./cmd/gpssn-bench -exp parallel
@@ -73,6 +80,15 @@ bench-parallel:
 bench-smoke:
 	$(GO) run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout BENCH_choracle.json
 	$(GO) run ./cmd/gpssn-bench -exp hublabel -scale 0.05 -queries 4 -jsonout BENCH_hublabel.json
+
+# Road-churn benchmark: query latency against the static oracle, against
+# the delta-overlay after a burst of AddRoadVertex/AddRoadEdge writes,
+# concurrently with the background Compact re-contraction, and after the
+# swap — plus the same churned workload on an oracle-free DB, the
+# fallback-to-Dijkstra cliff the overlay removes (BENCH_churn.json,
+# recorded in EXPERIMENTS.md).
+bench-churn:
+	$(GO) run ./cmd/gpssn-bench -exp churn -scale 0.05 -queries 48 -jsonout BENCH_churn.json
 
 # The million-scale tier: generate ~1M road vertices / ~1M users with the
 # streaming lattice generator, build CH + hub labels, run the default query

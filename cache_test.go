@@ -156,7 +156,7 @@ func TestAnswerCacheInvalidationPerUpdateKind(t *testing.T) {
 	}
 
 	warm()
-	if err := db.AddFriendship(0, userID); err != nil {
+	if _, err := db.AddFriendship(0, userID); err != nil {
 		t.Fatal(err)
 	}
 	if db.cache.len() != 0 {

@@ -307,7 +307,7 @@ func TestDBConcurrentCancelMixedLoad(t *testing.T) {
 				t.Errorf("AddPOI: %v", err)
 				return
 			}
-			if err := db.AddFriendship(users[i], users[i+1]); err != nil {
+			if _, err := db.AddFriendship(users[i], users[i+1]); err != nil {
 				t.Errorf("AddFriendship: %v", err)
 				return
 			}

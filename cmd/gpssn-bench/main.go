@@ -25,9 +25,11 @@ import (
 )
 
 func main() {
-	// The serving load generator lives outside internal/bench (it drives
-	// the public facade); register it so -exp serve and -list see it.
+	// The serving load generator and the road-churn benchmark live outside
+	// internal/bench (they drive the public facade); register them so
+	// -exp serve/churn and -list see them.
 	bench.Register(serve.LoadExperiment())
+	bench.Register(serve.ChurnExperiment())
 	var (
 		exp     = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
 		scale   = flag.Float64("scale", 0.1, "dataset scale relative to the paper (1.0 = published sizes)")

@@ -103,7 +103,7 @@ func TestDBConcurrentMixedLoad(t *testing.T) {
 				t.Errorf("AddUser: %v", err)
 				return
 			}
-			if err := db.AddFriendship(users[i], u); err != nil {
+			if _, err := db.AddFriendship(users[i], u); err != nil {
 				t.Errorf("AddFriendship: %v", err)
 				return
 			}

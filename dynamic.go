@@ -6,6 +6,7 @@ import (
 
 	"gpssn/internal/geo"
 	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
 	"gpssn/internal/socialnet"
 )
 
@@ -22,21 +23,34 @@ func finite(vs ...float64) bool {
 	return true
 }
 
-// Dynamic updates. A DB accepts new POIs, users, and friendships after
-// Open: additions live in a small delta that queries scan exactly (the
-// main+delta design), so answers stay optimal at slightly higher cost.
-// Compact rebuilds the indexes to absorb the delta and restore full
-// pruning power.
+// Dynamic updates. A DB accepts new POIs, users, friendships, road
+// vertices, and road edges after Open. Object additions live in a small
+// delta that queries scan exactly (the main+delta design); road
+// mutations keep the distance oracle attached through a delta-overlay
+// (internal/roadnet/overlay.go) so queries stay oracle-class and exact
+// under write traffic. Compact rebuilds the indexes and re-contracts the
+// oracle in the background to absorb everything and restore full pruning
+// power.
 //
-// Every updater below takes the DB's exclusive lock, so updates serialize
-// against each other and against in-flight queries: a concurrent query
-// sees the network either entirely before or entirely after an update.
+// Locking: every updater takes db.upd (the update-class lock) first,
+// then db.mu exclusively. Queries take only db.mu's read side, so an
+// update serializes against in-flight queries and other updates, and a
+// concurrent query sees the network either entirely before or entirely
+// after an update. Compact holds db.upd for its whole (possibly long)
+// rebuild but db.mu only for two short critical sections — updates wait,
+// queries do not (docs/CONCURRENCY.md).
+//
+// Invalidation is per update kind: a change that provably cannot affect
+// any cached answer (an isolated road vertex, a duplicate friendship)
+// flushes nothing.
 
 // AddPOI adds a POI at (x, y) — snapped onto the nearest road segment —
 // with the given keywords, and returns its id. The POI is queryable
 // immediately. Safe for concurrent use; blocks until in-flight queries
 // drain.
 func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
+	db.upd.Lock()
+	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !finite(x, y) {
@@ -73,6 +87,8 @@ func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
 // user eligible for groups of size > 1. Safe for concurrent use; blocks
 // until in-flight queries drain.
 func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
+	db.upd.Lock()
+	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !finite(x, y) {
@@ -102,15 +118,104 @@ func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
 }
 
 // AddFriendship records a friendship between two users (existing or newly
-// added). Safe for concurrent use; blocks until in-flight queries drain.
-func (db *DB) AddFriendship(a, b int) error {
+// added). The bool reports whether the social graph actually changed: a
+// friendship that already exists is a no-op, returns (false, nil), and —
+// because it cannot affect any answer — does not flush the answer cache.
+// Out-of-range ids and self-friendships return an error matching
+// ErrInvalidInput (they used to panic). Safe for concurrent use; blocks
+// until in-flight queries drain.
+func (db *DB) AddFriendship(a, b int) (bool, error) {
+	db.upd.Lock()
+	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.engine.AddFriendship(socialnet.UserID(a), socialnet.UserID(b)); err != nil {
-		return err
+	n := len(db.net.ds.Users)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return false, invalidf("friendship %d-%d out of range [0,%d)", a, b, n)
+	}
+	if a == b {
+		return false, invalidf("self-friendship at user %d", a)
+	}
+	added, err := db.engine.AddFriendship(socialnet.UserID(a), socialnet.UserID(b))
+	if err != nil {
+		return false, err
+	}
+	if added {
+		db.cache.invalidate()
+	}
+	return added, nil
+}
+
+// AddRoadVertex adds a road intersection at (x, y) and returns its id.
+// The new vertex is isolated until AddRoadEdge connects it; since an
+// isolated vertex cannot change any distance, this update invalidates
+// nothing — no cached answer, no memoized work, no pruning state. Safe
+// for concurrent use; blocks until in-flight queries drain.
+func (db *DB) AddRoadVertex(x, y float64) (int, error) {
+	db.upd.Lock()
+	defer db.upd.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !finite(x, y) {
+		return 0, invalidf("road vertex coordinates (%v, %v) must be finite", x, y)
+	}
+	v, err := db.engine.AddRoadVertex(geo.Pt(x, y))
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// AddRoadEdge adds a road segment between two existing intersections,
+// weighted by their Euclidean distance, and returns its id. The distance
+// oracle stays attached — a delta-overlay composes exact answers over
+// the mutated topology at oracle speed — so queries never fall back to
+// plain Dijkstra under write traffic. Self-loops, out-of-range
+// endpoints, and duplicate edges return an error matching
+// ErrInvalidInput (the internal roadnet panic is reserved for misuse of
+// the internal API). The answer cache and the shared-work memo are
+// flushed: a new segment can shorten any distance. Call Compact
+// periodically under sustained churn to re-contract the oracle and
+// re-arm pivot-based distance pruning. Safe for concurrent use; blocks
+// until in-flight queries drain.
+func (db *DB) AddRoadEdge(u, v int) (int, error) {
+	db.upd.Lock()
+	defer db.upd.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := db.net.ds.Road.NumVertices()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, invalidf("road edge %d-%d out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return 0, invalidf("self-loop road edge at vertex %d", u)
+	}
+	if db.net.ds.Road.HasEdge(roadnet.VertexID(u), roadnet.VertexID(v)) {
+		return 0, invalidf("duplicate road edge %d-%d", u, v)
+	}
+	id, err := db.engine.AddRoadEdge(roadnet.VertexID(u), roadnet.VertexID(v))
+	if err != nil {
+		return 0, err
 	}
 	db.cache.invalidate()
-	return nil
+	return int(id), nil
+}
+
+// RoadOverlayStats describes the delta-overlay currently composing road
+// distances, if any: how many vertices/edges have been appended since
+// the static oracle was built, the portal count (the patch matrix is
+// Portals², so this is the number to watch under sustained churn), and
+// how many composed queries it has served. Active is false when the
+// oracle is static (no road mutation since Open or the last Compact).
+// gpssn-serve surfaces it under /statsz.
+type RoadOverlayStats = roadnet.OverlayStats
+
+// RoadOverlayStats snapshots the road delta-overlay state. Safe for
+// concurrent use.
+func (db *DB) RoadOverlayStats() RoadOverlayStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.net.ds.Road.OverlayStats()
 }
 
 // PendingUpdates returns how many dynamic updates await compaction. Safe
@@ -121,19 +226,64 @@ func (db *DB) PendingUpdates() int {
 	return db.engine.PendingUpdates()
 }
 
-// Compact rebuilds the indexes over the grown dataset, absorbing all
-// dynamic updates and restoring full pruning power. Safe for concurrent
-// use: queries issued during Compact block until the rebuilt indexes are
-// swapped in.
+// cloneDataset copies the dataset for an off-lock rebuild. The road
+// graph is deep-cloned (Open attaches a fresh oracle to it, which must
+// not race queries reading the live one); the social graph and the
+// user/POI slices are shared — db.upd blocks every mutation for the
+// duration of the rebuild, and capping the slice headers keeps
+// post-swap appends from aliasing the old dataset.
+func cloneDataset(ds *model.Dataset) *model.Dataset {
+	return &model.Dataset{
+		Name:      ds.Name,
+		Road:      ds.Road.Clone(),
+		Social:    ds.Social,
+		Users:     ds.Users[:len(ds.Users):len(ds.Users)],
+		POIs:      ds.POIs[:len(ds.POIs):len(ds.POIs)],
+		NumTopics: ds.NumTopics,
+	}
+}
+
+// Compact rebuilds the indexes over the grown dataset and re-contracts
+// the distance oracle, absorbing all dynamic updates (the road
+// delta-overlay drains into the fresh static oracle) and restoring full
+// pruning power. The rebuild runs in the background against a cloned
+// topology: queries keep being answered by the live engine for its whole
+// duration — exactly, through the overlay — and only the final swap
+// takes the exclusive lock, briefly. Other updates block until the
+// rebuild finishes (they would invalidate the clone). Health().Rebuilding
+// is set while the rebuild is in flight; on failure the live engine
+// keeps serving unchanged and the error is also recorded as a Health
+// note. Safe for concurrent use.
 func (db *DB) Compact() error {
+	db.upd.Lock()
+	defer db.upd.Unlock()
+
+	// Short critical section 1: clone the topology and mark rebuilding.
+	db.mu.Lock()
+	snap := cloneDataset(db.net.ds)
+	db.health.Rebuilding = true
+	db.mu.Unlock()
+
+	// Off-lock rebuild. db.upd guarantees the clone cannot go stale: no
+	// mutation can land between the clone and the swap.
+	freshNet := &Network{ds: snap}
+	fresh, err := Open(freshNet, db.cfg)
+
+	// Short critical section 2: swap the rebuilt world in, or roll back.
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	fresh, err := Open(db.net, db.cfg)
+	db.health.Rebuilding = false
 	if err != nil {
+		db.health.Notes = append(db.health.Notes,
+			fmt.Sprintf("background re-contraction failed (%v); previous engine kept serving", err))
 		return fmt.Errorf("gpssn: compaction failed: %w", err)
 	}
+	db.net = freshNet
 	db.engine = fresh.engine
-	db.health = fresh.health
+	db.health.OracleRequested = fresh.health.OracleRequested
+	db.health.OracleActive = fresh.health.OracleActive
+	db.health.Degraded = fresh.health.Degraded
+	db.health.Notes = append(db.health.Notes, fresh.health.Notes...)
 	db.BuildTime = fresh.BuildTime
 	db.cache.invalidate()
 	return nil

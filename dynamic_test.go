@@ -25,7 +25,7 @@ func TestDynamicFacadeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AddUser: %v", err)
 	}
-	if err := db.AddFriendship(0, user); err != nil {
+	if _, err := db.AddFriendship(0, user); err != nil {
 		t.Fatalf("AddFriendship: %v", err)
 	}
 	if db.PendingUpdates() == 0 {
@@ -75,7 +75,7 @@ func TestDynamicNewUserJoinsGroup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := db.AddFriendship(4, newbie); err != nil {
+	if _, err := db.AddFriendship(4, newbie); err != nil {
 		t.Fatal(err)
 	}
 	q := Query{GroupSize: 2, Gamma: 1.02, Theta: 0.3, Radius: 2}
@@ -112,10 +112,10 @@ func TestDynamicFacadeValidation(t *testing.T) {
 	if _, err := db.AddUser(0, 0, []float64{0.5}); err == nil {
 		t.Error("short interest vector should fail")
 	}
-	if err := db.AddFriendship(0, 0); err == nil {
+	if _, err := db.AddFriendship(0, 0); err == nil {
 		t.Error("self-friendship should fail")
 	}
-	if err := db.AddFriendship(0, 999); err == nil {
+	if _, err := db.AddFriendship(0, 999); err == nil {
 		t.Error("unknown user should fail")
 	}
 }

@@ -40,9 +40,11 @@
 // work a single query may spend (exceeding it returns the best answer
 // found, flagged Answer.Truncated — possibly suboptimal, never wrong).
 // A DB is safe for concurrent use: queries run in parallel and dynamic
-// updates (AddPOI, AddUser, AddFriendship, Compact) serialize against
-// them (docs/CONCURRENCY.md). DB.Health reports the active distance
-// oracle and any degradation.
+// updates (AddPOI, AddUser, AddFriendship, AddRoadVertex, AddRoadEdge,
+// Compact) serialize against them (docs/CONCURRENCY.md). Road mutations
+// keep the distance oracle attached through an exact delta-overlay, and
+// Compact re-contracts it in the background without blocking queries.
+// DB.Health reports the active distance oracle and any degradation.
 //
 // # Error contract
 //
@@ -308,17 +310,25 @@ type Stats struct {
 // A DB is safe for concurrent use: any number of goroutines may call
 // Query and QueryTopK simultaneously — each query runs with fully
 // isolated per-query state (stats, simulated page-I/O accounting, trace).
-// Dynamic updates (AddPOI, AddUser, AddFriendship) and Compact take an
-// exclusive lock, so they serialize against in-flight queries and each
-// other; queries observe either the state before an update or after it,
-// never a torn intermediate. The full contract, including lock ordering,
-// is documented in docs/CONCURRENCY.md.
+// Dynamic updates (AddPOI, AddUser, AddFriendship, AddRoadVertex,
+// AddRoadEdge) take an exclusive lock, so they serialize against
+// in-flight queries and each other; queries observe either the state
+// before an update or after it, never a torn intermediate. Compact
+// rebuilds in the background and takes the exclusive lock only to swap.
+// The full contract, including lock ordering, is docs/CONCURRENCY.md.
 type DB struct {
-	// mu orders queries (read side) against dynamic updates and Compact
-	// (write side). Holding it across compute+cache-fill also keeps stale
-	// answers out of the cache: an update cannot interleave between a
-	// query's engine call and its cache put.
-	mu     sync.RWMutex
+	// mu orders queries (read side) against dynamic updates and Compact's
+	// two short critical sections (write side). Holding it across
+	// compute+cache-fill also keeps stale answers out of the cache: an
+	// update cannot interleave between a query's engine call and its
+	// cache put.
+	mu sync.RWMutex
+	// upd is the update-class lock, always acquired BEFORE mu (lock order
+	// upd → mu, docs/CONCURRENCY.md). Every dynamic update and Compact
+	// take it; queries never do. Compact holds it across its whole
+	// background rebuild so no mutation can invalidate the cloned
+	// topology, while queries keep flowing through mu's read side.
+	upd    sync.Mutex
 	net    *Network
 	engine *core.Engine
 	cfg    Config
@@ -343,6 +353,10 @@ type Health struct {
 	// Degraded is set when OracleActive is a fallback below
 	// OracleRequested in the chain hl → ch → dijkstra.
 	Degraded bool
+	// Rebuilding is set while a background Compact re-contraction is in
+	// flight. Queries keep serving exactly (road mutations compose
+	// through the delta-overlay); further updates block until it clears.
+	Rebuilding bool
 	// Notes records, in order, every fallback and recovery event since the
 	// DB was opened (oracle build failures, snapshot sections rebuilt).
 	Notes []string
@@ -545,7 +559,14 @@ func buildDB(net *Network, c Config) (*DB, error) {
 // Network returns the underlying network. Its accessors are safe to call
 // concurrently with queries; coordinate externally before mixing them with
 // dynamic updates (updates grow the user and POI sets the accessors read).
-func (db *DB) Network() *Network { return db.net }
+// Compact swaps in a rebuilt network, so re-fetch rather than holding the
+// pointer across one — a stale pointer stays readable but stops seeing
+// later updates.
+func (db *DB) Network() *Network {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.net
+}
 
 // validate rejects malformed query input with an ErrInvalidInput-matching
 // error before any engine state is touched. NaN thresholds are rejected

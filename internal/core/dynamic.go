@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"gpssn/internal/geo"
 	"gpssn/internal/model"
+	"gpssn/internal/roadnet"
 	"gpssn/internal/socialnet"
 )
 
@@ -21,6 +23,8 @@ type dynamicState struct {
 	indexedUsers int
 	indexedPOIs  int
 	touched      map[socialnet.UserID]bool
+	roadVerts    int // road vertices appended since construction
+	roadEdges    int // road edges appended since construction
 }
 
 // initDynamic records the indexed prefix sizes at engine construction.
@@ -38,7 +42,8 @@ func (e *Engine) PendingUpdates() int {
 	defer e.mu.Unlock()
 	return (len(e.DS.Users) - e.dyn.indexedUsers) +
 		(len(e.DS.POIs) - e.dyn.indexedPOIs) +
-		len(e.dyn.touched)
+		len(e.dyn.touched) +
+		e.dyn.roadVerts + e.dyn.roadEdges
 }
 
 // AddPOI appends a POI to the dataset; it becomes queryable immediately
@@ -92,26 +97,80 @@ func (e *Engine) AddUser(u model.User) error {
 
 // AddFriendship adds an edge; indexed endpoints lose pivot-based social
 // pruning until the next compaction (their stored hop bounds may now
-// overestimate).
-func (e *Engine) AddFriendship(a, b socialnet.UserID) error {
+// overestimate). The bool reports whether the graph actually changed: a
+// duplicate edge is a no-op and leaves the pruning state — and therefore
+// every cached answer — untouched, so callers can skip invalidation.
+func (e *Engine) AddFriendship(a, b socialnet.UserID) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	n := e.DS.Social.NumUsers()
 	if a < 0 || int(a) >= n || b < 0 || int(b) >= n {
-		return fmt.Errorf("core: friendship %d-%d out of range [0,%d)", a, b, n)
+		return false, fmt.Errorf("core: friendship %d-%d out of range [0,%d)", a, b, n)
 	}
 	if a == b {
-		return fmt.Errorf("core: self-friendship at %d", a)
+		return false, fmt.Errorf("core: self-friendship at %d", a)
 	}
-	e.DS.Social.AddFriendship(a, b)
+	if !e.DS.Social.AddFriendship(a, b) {
+		return false, nil
+	}
 	if int(a) < e.dyn.indexedUsers {
 		e.dyn.touched[a] = true
 	}
 	if int(b) < e.dyn.indexedUsers {
 		e.dyn.touched[b] = true
 	}
-	return nil
+	return true, nil
 }
+
+// AddRoadVertex appends an isolated road intersection. It cannot change
+// any distance (no incident edges yet), so no pruning state, memo entry,
+// or cached answer is invalidated — the cheapest possible update.
+func (e *Engine) AddRoadVertex(p geo.Point) (roadnet.VertexID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !model.CoordOK(p.X) || !model.CoordOK(p.Y) {
+		return 0, fmt.Errorf("core: road vertex coordinate (%v, %v) outside the finite range", p.X, p.Y)
+	}
+	v := e.DS.Road.AddVertex(p)
+	e.dyn.roadVerts++
+	return v, nil
+}
+
+// AddRoadEdge appends a road segment between two existing intersections.
+// Distances can only shrink, and the delta-overlay keeps the attached
+// oracle exact (roadnet.Graph.AddEdge), but two classes of derived state
+// go stale and are handled here: pivot-table road *lower* bounds (gated
+// off engine-wide via roadPivotSafe until the next compaction — stored
+// upper bounds remain sound because shrinking true distances only widen
+// their slack) and the shared-work memo (fully reset: its one-to-all
+// arrays are sized to the old vertex count and its balls assume frozen
+// reachability, so stale entries would be wrong, not just loose).
+func (e *Engine) AddRoadEdge(u, v roadnet.VertexID) (roadnet.EdgeID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.DS.Road.NumVertices()
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		return 0, fmt.Errorf("core: road edge %d-%d out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return 0, fmt.Errorf("core: self-loop road edge at vertex %d", u)
+	}
+	if e.DS.Road.HasEdge(u, v) {
+		return 0, fmt.Errorf("core: duplicate road edge %d-%d", u, v)
+	}
+	id := e.DS.Road.AddEdge(u, v)
+	e.dyn.roadEdges++
+	e.shared.noteRoadChange()
+	return id, nil
+}
+
+// roadPivotSafe reports whether pivot-table road distances are still
+// sound as LOWER bounds: true iff no road edge has been appended since
+// the indexes were built. New edges only shorten distances, so stored
+// pivot rows can overestimate — upper-bound uses stay sound and are not
+// gated. Appending isolated vertices changes nothing (attachments can
+// only sit on edges), so roadVerts does not participate.
+func (e *Engine) roadPivotSafe() bool { return e.dyn.roadEdges == 0 }
 
 // pivotPruningSafe reports whether the stored hop-pivot vector of an
 // indexed user is still a sound lower bound.

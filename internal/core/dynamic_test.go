@@ -48,7 +48,7 @@ func addRandomDelta(t *testing.T, e *Engine, seed int64, pois, users, edges int)
 			t.Fatalf("AddUser: %v", err)
 		}
 		// Wire the new user to an existing one so it is reachable.
-		if err := e.AddFriendship(u.ID, socialnet.UserID(rng.Intn(int(u.ID)))); err != nil {
+		if _, err := e.AddFriendship(u.ID, socialnet.UserID(rng.Intn(int(u.ID)))); err != nil {
 			t.Fatalf("AddFriendship: %v", err)
 		}
 	}
@@ -56,7 +56,7 @@ func addRandomDelta(t *testing.T, e *Engine, seed int64, pois, users, edges int)
 		a := socialnet.UserID(rng.Intn(len(ds.Users)))
 		b := socialnet.UserID(rng.Intn(len(ds.Users)))
 		if a != b {
-			if err := e.AddFriendship(a, b); err != nil {
+			if _, err := e.AddFriendship(a, b); err != nil {
 				t.Fatalf("AddFriendship: %v", err)
 			}
 		}
@@ -145,7 +145,7 @@ func TestDynamicFriendshipEnablesAnswer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.AddFriendship(a, b); err != nil {
+	if _, err := e.AddFriendship(a, b); err != nil {
 		t.Fatal(err)
 	}
 	after, _, err := e.Query(a, p)
@@ -181,10 +181,10 @@ func TestDynamicValidation(t *testing.T) {
 	if err := e.AddUser(bad); err == nil {
 		t.Error("bad interest vector should fail")
 	}
-	if err := e.AddFriendship(0, 0); err == nil {
+	if _, err := e.AddFriendship(0, 0); err == nil {
 		t.Error("self-friendship should fail")
 	}
-	if err := e.AddFriendship(0, socialnet.UserID(len(ds.Users)+5)); err == nil {
+	if _, err := e.AddFriendship(0, socialnet.UserID(len(ds.Users)+5)); err == nil {
 		t.Error("out-of-range friendship should fail")
 	}
 	if e.PendingUpdates() != 0 {

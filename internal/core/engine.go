@@ -465,6 +465,11 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 	processRNLevel := func(cur []heapEntry) []heapEntry {
 		sortHeap(cur)
 		var next []heapEntry
+		// Road pivot LOWER bounds are unsound once a road edge has been
+		// appended (new edges only shorten distances, so stored rows can
+		// overestimate); every lower-bound prune below gates on roadLB.
+		// Upper-bound uses (the δ update) stay sound and stay on.
+		roadLB := e.roadPivotSafe()
 		for i, he := range cur {
 			// Cancellation is polled at anchor-candidate granularity: once
 			// per heap entry and per leaf POI below. A cancelled traversal
@@ -473,7 +478,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 			if q.cancelled() {
 				return nil
 			}
-			if !e.Opts.DisableDistancePruning && he.key > tr.delta {
+			if !e.Opts.DisableDistancePruning && roadLB && he.key > tr.delta {
 				// Lines 13-14: everything remaining is prunable.
 				for _, rest := range cur[i:] {
 					cnt := e.Road.Meta(rest.node).POICount
@@ -497,7 +502,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 					// Distance: Lemma 5 via the pivot lower bound vs δ.
 					matchPrune := matchUbVec(uqUser.Interests, e.Road.POISupVec(id)) < p.Theta
 					distPrune := false
-					if !e.Opts.DisableDistancePruning {
+					if !e.Opts.DisableDistancePruning && roadLB {
 						distPrune = roadnet.LowerBound(uqRD, e.Road.POIDist(id)) > tr.delta
 					}
 					if matchPrune {
@@ -538,7 +543,7 @@ func (e *Engine) traverse(uq socialnet.UserID, p Params, k int, initDelta float6
 						st.RNIndexPrunedMatch += m.POICount
 						continue
 					}
-					if !e.Opts.DisableDistancePruning {
+					if !e.Opts.DisableDistancePruning && roadLB {
 						// Lemma 7 / Eq. 17: distance lower bound vs δ.
 						lb := nodeDistLb(uqRD, m.LbDist, m.UbDist)
 						if lb > tr.delta {

@@ -775,8 +775,11 @@ func (e *Engine) refine(uq socialnet.UserID, p Params, k int, tr traversal, prob
 				continue
 			}
 			// Pivot lower bound of dist(u, anchor) before paying for the
-			// exact per-user Dijkstra: M(u) >= dist(u, anchor).
-			if roadnet.LowerBound(e.userRDOf(u), anchorRD) > keeper.Bound() {
+			// exact per-user Dijkstra: M(u) >= dist(u, anchor). Gated off
+			// once road edges have been appended — stored pivot rows then
+			// overestimate and the "lower bound" could prune a true
+			// companion (roadPivotSafe).
+			if e.roadPivotSafe() && roadnet.LowerBound(e.userRDOf(u), anchorRD) > keeper.Bound() {
 				continue
 			}
 			m := mOf(u)

@@ -45,9 +45,12 @@ import (
 //     distance never undercuts Euclidean distance, the same argument
 //     EuclidBall and deltaBallMembers rely on) and bumps the road
 //     version. AddUser/AddFriendship don't touch the memo at all: balls
-//     are POI-only, and a user's sweep state depends only on the (frozen)
-//     road topology and their home attachment, neither of which facade
-//     updates can change.
+//     are POI-only, and a user's sweep state depends only on the road
+//     topology and their home attachment, neither of which those updates
+//     can change. AddRoadEdge is the other extreme — a full reset
+//     (noteRoadChange), because every memoized array and ball bakes the
+//     old topology in. AddRoadVertex sits in the middle: an isolated
+//     vertex changes no distance, so it touches nothing.
 
 // Capacity bounds for the shared memo. Balls are LRU-evicted; user sweep
 // entries are reject-on-full like the per-query vertexDistCache (the
@@ -270,6 +273,32 @@ func (sw *sharedWork) noteAddPOI(loc geo.Point) {
 			sw.ballEvict.Add(1)
 		}
 	}
+	sw.mu.Unlock()
+}
+
+// noteRoadChange is the road-topology invalidation hook (AddRoadEdge),
+// called with the engine lock held exclusively. Unlike noteAddPOI's
+// selective eviction this is a full reset: memoized one-to-all arrays
+// are sized to the vertex count at build time and memoized balls bake in
+// old reachability, so after a topology change stale entries would be
+// *wrong* — a new-edge attachment indexing past the end of a stale
+// array, a ball missing a now-reachable POI — not merely conservative.
+// In-flight leaders are unharmed: eviction only unlinks map entries, and
+// waiters already holding an entry pointer still see a result computed
+// for the pre-change topology their query no longer uses (they were
+// serialized before this update by the facade's write lock).
+func (sw *sharedWork) noteRoadChange() {
+	if sw == nil {
+		return
+	}
+	sw.mu.Lock()
+	sw.version++
+	for key := range sw.balls {
+		sw.removeBallLocked(key)
+		sw.ballEvict.Add(1)
+	}
+	sw.users = map[socialnet.UserID]*userEntry{}
+	sw.userBytes = 0
 	sw.mu.Unlock()
 }
 

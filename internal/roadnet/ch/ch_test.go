@@ -189,9 +189,10 @@ func TestOracleExactOnIntegerWeights(t *testing.T) {
 	}
 }
 
-// TestOracleDetachesOnMutation ensures structural graph edits invalidate
-// the attached oracle rather than serving stale distances.
-func TestOracleDetachesOnMutation(t *testing.T) {
+// TestOracleSurvivesMutation ensures structural graph edits keep the
+// attached oracle serving — wrapped in the delta-overlay — and that the
+// composed distances track the mutated topology instead of going stale.
+func TestOracleSurvivesMutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	g := randomGraph(t, rng, 20, 1.0, true)
 	g.SetDistanceOracle(Build(g))
@@ -199,12 +200,21 @@ func TestOracleDetachesOnMutation(t *testing.T) {
 		t.Fatal("oracle not attached")
 	}
 	v := g.AddVertex(geo.Pt(200, 200))
-	if g.Oracle() != nil {
-		t.Fatal("AddVertex must detach the oracle")
+	if g.Oracle() == nil {
+		t.Fatal("AddVertex must keep the oracle attached via the overlay")
 	}
-	g.SetDistanceOracle(Build(g))
+	if !g.OverlayStats().Active {
+		t.Fatal("mutation must activate the delta-overlay")
+	}
 	g.AddEdge(v, 0)
-	if g.Oracle() != nil {
-		t.Fatal("AddEdge must detach the oracle")
+	// The new vertex must be reachable through the composed oracle at the
+	// exact new-edge distance — a stale oracle would report +Inf.
+	d := g.Dijkstra(0)
+	if len(d) != g.NumVertices() {
+		t.Fatalf("one-to-all length %d, want %d", len(d), g.NumVertices())
+	}
+	want := g.Vertex(0).Dist(g.Vertex(v))
+	if d[v] > want {
+		t.Fatalf("composed distance to new vertex %v, want <= direct edge %v", d[v], want)
 	}
 }

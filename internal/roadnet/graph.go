@@ -38,11 +38,12 @@ type Edge struct {
 // Graph is a spatial road network. Create with NewGraph, then add vertices
 // and edges; the graph is usable immediately (no finalize step).
 type Graph struct {
-	pts    []geo.Point
-	adj    [][]halfEdge
-	edges  []Edge
-	grid   *edgeGrid      // lazily built by SnapPoint
-	oracle DistanceOracle // optional fast exact-distance backend (see oracle.go)
+	pts        []geo.Point
+	adj        [][]halfEdge
+	edges      []Edge
+	grid       *edgeGrid      // lazily built by SnapPoint
+	gridBuilds int            // full grid (re)builds — churn regression signal
+	oracle     DistanceOracle // optional fast exact-distance backend (see oracle.go)
 }
 
 // NewGraph returns an empty road network with capacity hints.
@@ -54,32 +55,62 @@ func NewGraph(vertexHint, edgeHint int) *Graph {
 	}
 }
 
-// AddVertex adds an intersection at p and returns its id.
+// AddVertex adds an intersection at p and returns its id. An attached
+// distance oracle stays attached: it is wrapped in a delta-overlay (see
+// overlay.go) that keeps answers exact over the mutated topology. The
+// snap grid indexes edges only, so it is untouched.
 func (g *Graph) AddVertex(p geo.Point) VertexID {
+	ov := g.ensureOverlay()
 	g.pts = append(g.pts, p)
 	g.adj = append(g.adj, nil)
-	g.grid = nil
-	g.oracle = nil
+	if ov != nil {
+		ov.noteAddVertex()
+	}
 	return VertexID(len(g.pts) - 1)
 }
 
 // AddEdge adds an undirected road segment between u and v weighted by their
 // Euclidean distance. It returns the new edge's id. Self-loops are
-// rejected with a panic since road networks never contain them.
+// rejected with a panic since road networks never contain them — callers
+// holding untrusted input validate first (the facade road-mutation
+// boundary returns typed errors; ImportCSV rejects with row numbers).
+// An attached distance oracle stays attached through the delta-overlay,
+// and the snap grid absorbs the new segment incrementally.
 func (g *Graph) AddEdge(u, v VertexID) EdgeID {
 	if u == v {
 		panic(fmt.Sprintf("roadnet: self-loop at vertex %d", u))
 	}
 	g.checkVertex(u)
 	g.checkVertex(v)
+	ov := g.ensureOverlay()
 	w := g.pts[u].Dist(g.pts[v])
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w})
 	g.adj[u] = append(g.adj[u], halfEdge{to: v, weight: w, edge: id})
 	g.adj[v] = append(g.adj[v], halfEdge{to: u, weight: w, edge: id})
-	g.grid = nil
-	g.oracle = nil
+	if ov != nil {
+		ov.noteAddEdge(u, v, w)
+	}
+	g.gridInsertEdge(id)
 	return id
+}
+
+// Clone returns a deep copy of the graph's topology and geometry. The
+// snap grid and the distance oracle are deliberately not carried over —
+// the clone rebuilds its grid lazily and gets its own oracle — so the
+// copy shares no mutable state with the original. Background
+// re-contraction clones the graph off-lock and rebuilds against the copy
+// while the original keeps serving.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		pts:   append([]geo.Point(nil), g.pts...),
+		adj:   make([][]halfEdge, len(g.adj)),
+		edges: append([]Edge(nil), g.edges...),
+	}
+	for i, a := range g.adj {
+		ng.adj[i] = append([]halfEdge(nil), a...)
+	}
+	return ng
 }
 
 // HasEdge reports whether an edge between u and v exists.
@@ -248,8 +279,19 @@ func (g *Graph) attachEnds(a Attach) (u, v VertexID, du, dv float64) {
 }
 
 // DistToVertexVia returns dist_RN(a, x) given a table of vertex distances
-// dist (for example a pivot row or a Dijkstra result array).
+// dist (for example a pivot row or a Dijkstra result array). A table
+// shorter than the current vertex count — a pivot row computed before
+// vertices were appended — carries no information about the missing
+// endpoints, which read as +Inf; callers relying on such stale tables as
+// lower bounds must gate on the road-delta being empty (the engine does).
 func (g *Graph) DistToVertexVia(a Attach, dist []float64) float64 {
 	u, v, du, dv := g.attachEnds(a)
-	return math.Min(du+dist[u], dv+dist[v])
+	x, y := math.Inf(1), math.Inf(1)
+	if int(u) < len(dist) {
+		x = du + dist[u]
+	}
+	if int(v) < len(dist) {
+		y = dv + dist[v]
+	}
+	return math.Min(x, y)
 }

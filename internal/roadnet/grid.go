@@ -154,11 +154,43 @@ func (eg *edgeGrid) eachRingCell(cx, cy, ring int, fn func(c int)) {
 	}
 }
 
+// gridInsertEdge registers a freshly appended edge with the snap grid so
+// mutations do not force the next SnapPoint into an O(V+E) rebuild. A
+// nil grid stays nil (lazy build covers it); the 1×1 overflow grid keeps
+// every edge in its single cell; an in-bounds segment is appended to
+// each covered cell exactly as buildEdgeGrid would have, preserving the
+// ring-search termination invariant (every edge is registered in every
+// cell its bounding box touches). A segment escaping the built extent
+// falls back to dropping the grid — the rebuild re-derives the bounds.
+func (g *Graph) gridInsertEdge(id EdgeID) {
+	eg := g.grid
+	if eg == nil {
+		return
+	}
+	if eg.cell == math.MaxFloat64 {
+		eg.cells[0] = append(eg.cells[0], id)
+		return
+	}
+	seg := g.EdgeSegment(id)
+	if !eg.bounds.ContainsRect(seg.Bounds()) {
+		g.grid = nil
+		return
+	}
+	eg.eachCell(seg.Bounds(), func(c int) {
+		eg.cells[c] = append(eg.cells[c], id)
+	})
+}
+
+// GridBuilds reports how many times the snap grid has been built from
+// scratch — the churn benchmark asserts mutations stop forcing rebuilds.
+func (g *Graph) GridBuilds() int { return g.gridBuilds }
+
 // SnapPoint returns the attachment on the road segment nearest to p. The
 // second return value is false only for a graph with no edges.
 func (g *Graph) SnapPoint(p geo.Point) (Attach, bool) {
 	if g.grid == nil {
 		g.grid = buildEdgeGrid(g)
+		g.gridBuilds++
 	}
 	id, t, ok := g.grid.nearest(g, p)
 	if !ok {

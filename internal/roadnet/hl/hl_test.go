@@ -263,23 +263,32 @@ func TestLabelAPIWithoutOracle(t *testing.T) {
 	}
 }
 
-// TestHLDetachesOnMutation ensures structural edits invalidate an attached
-// HL oracle exactly like the CH.
-func TestHLDetachesOnMutation(t *testing.T) {
+// TestHLSurvivesMutation ensures structural edits keep an attached HL
+// oracle serving through the delta-overlay, while the label fast paths
+// (which assume frozen topology) switch themselves off until the next
+// re-contraction.
+func TestHLSurvivesMutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	g := randomGraph(t, rng, 20, 1.0, true)
 	g.SetDistanceOracle(Build(g))
 	if g.Oracle() == nil {
 		t.Fatal("oracle not attached")
 	}
-	v := g.AddVertex(geo.Pt(200, 200))
-	if g.Oracle() != nil {
-		t.Fatal("AddVertex must detach the oracle")
+	if !g.HasLabels() {
+		t.Fatal("HL oracle must expose labels pre-mutation")
 	}
-	g.SetDistanceOracle(Build(g))
+	v := g.AddVertex(geo.Pt(200, 200))
+	if g.Oracle() == nil {
+		t.Fatal("AddVertex must keep the oracle attached via the overlay")
+	}
+	if g.HasLabels() {
+		t.Fatal("label fast path must deactivate once the overlay wraps the oracle")
+	}
 	g.AddEdge(v, 0)
-	if g.Oracle() != nil {
-		t.Fatal("AddEdge must detach the oracle")
+	d := g.Dijkstra(0)
+	want := g.Vertex(0).Dist(g.Vertex(v))
+	if d[v] > want {
+		t.Fatalf("composed distance to new vertex %v, want <= direct edge %v", d[v], want)
 	}
 }
 

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gpssn"
+	"gpssn/internal/bench"
+	"gpssn/internal/roadnet"
+)
+
+// This file is the `-exp churn` benchmark: query latency under road write
+// traffic. It opens a facade DB with the default hub-label oracle, then
+// measures the same query workload in four regimes — against the static
+// oracle, against the delta-overlay after a burst of AddRoadVertex /
+// AddRoadEdge churn, concurrently with the background Compact
+// re-contraction, and after the swap — plus a Dijkstra-backend reference
+// run that pins what the old detach-the-oracle behaviour used to cost.
+// The headline claims the JSON report (BENCH_churn.json) guards:
+//
+//   - churn keeps queries oracle-class: overlay p50 sits near the static
+//     p50, nowhere near the Dijkstra cliff;
+//   - Compact no longer stops the world: queries keep completing while
+//     the rebuild runs, and the swap is not visible as an error;
+//   - road mutations are cheap: no O(V+E) edge-grid rebuilds (the
+//     incremental insert), microsecond-scale update latency.
+//
+// Like the serve load generator above, it lives in package serve because
+// it drives the public gpssn facade, which internal/bench must not import;
+// cmd/gpssn-bench registers it via bench.Register.
+
+// ChurnExperiment returns the "churn" experiment for bench.Register.
+func ChurnExperiment() bench.Experiment {
+	return bench.Experiment{
+		Name:        "churn",
+		Description: "Road churn: query latency static vs delta-overlay vs during-Compact vs post-swap, Dijkstra cliff reference, update costs (JSON-capable)",
+		Run:         runChurn,
+	}
+}
+
+// churnReport is the JSON payload written to RunConfig.JSONOut
+// (BENCH_churn.json).
+type churnReport struct {
+	Scale        float64 `json:"scale"`
+	Seed         int64   `json:"seed"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Users        int     `json:"users"`
+	RoadVertices int     `json:"road_vertices"`
+	POIs         int     `json:"pois"`
+	QueriesPhase int     `json:"queries_per_phase"`
+
+	// Query latency per regime, same issuer/shape schedule each time.
+	StaticP50Ms  float64 `json:"static_p50_ms"`
+	StaticP99Ms  float64 `json:"static_p99_ms"`
+	OverlayP50Ms float64 `json:"overlay_p50_ms"`
+	OverlayP99Ms float64 `json:"overlay_p99_ms"`
+	CompactP50Ms float64 `json:"during_compact_p50_ms"`
+	PostP50Ms    float64 `json:"post_compact_p50_ms"`
+	PostP99Ms    float64 `json:"post_compact_p99_ms"`
+
+	// The cliff this PR removes: the same overlay-phase workload on a
+	// DB opened with DistanceOracle=dijkstra (what every query paid
+	// after any road write when mutation detached the oracle).
+	DijkstraP50Ms float64 `json:"dijkstra_p50_ms"`
+	// OverlaySlowdown = overlay p50 / static p50 (oracle-class ≈ 1-3x);
+	// CliffRatio = dijkstra p50 / overlay p50 (how much of the old
+	// penalty the overlay removes).
+	OverlaySlowdown float64 `json:"overlay_slowdown"`
+	CliffRatio      float64 `json:"dijkstra_cliff_ratio"`
+
+	// Road-write costs.
+	EdgesAdded      int     `json:"edges_added"`
+	VertsAdded      int     `json:"verts_added"`
+	UpdateP50Us     float64 `json:"update_p50_us"`
+	UpdateP99Us     float64 `json:"update_p99_us"`
+	GridBuildsChurn int     `json:"grid_rebuilds_during_churn"`
+
+	// Background re-contraction.
+	CompactMs            float64 `json:"compact_ms"`
+	QueriesDuringCompact int64   `json:"queries_during_compact"`
+	ErrorsDuringCompact  int64   `json:"errors_during_compact"`
+
+	Overlay gpssn.RoadOverlayStats `json:"overlay_stats"`
+}
+
+func runChurn(w io.Writer, cfg bench.RunConfig) error {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.1
+	}
+	perPhase := 64
+	if cfg.Queries > 8 {
+		perPhase = cfg.Queries
+	}
+	scaled := func(base int) int {
+		v := int(math.Round(float64(base) * cfg.Scale))
+		if v < 30 {
+			v = 30
+		}
+		return v
+	}
+	opts := gpssn.SyntheticOptions{
+		Name: "churn", Seed: cfg.Seed,
+		RoadVertices: scaled(30000), Users: scaled(20000), POIs: scaled(10000),
+	}
+	netw, err := gpssn.GenerateSynthetic(opts)
+	if err != nil {
+		return err
+	}
+	// Cache off: this experiment measures query work, not cache hits.
+	db, err := gpssn.Open(netw, gpssn.Config{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	users := netw.NumUsers()
+	nVerts := netw.NumIntersections()
+
+	// The fixed query schedule every regime replays: zipf-popular issuers
+	// over a small shape mix, seeded identically each phase.
+	type qitem struct {
+		user int
+		q    gpssn.Query
+	}
+	shapes := []gpssn.Query{
+		{GroupSize: 5, Gamma: 0.5, Theta: 0.5, Radius: 2},
+		{GroupSize: 3, Gamma: 0.5, Theta: 0.5, Radius: 1},
+		{GroupSize: 5, Gamma: 0.3, Theta: 0.5, Radius: 2},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	zipf := rand.NewZipf(rng, 1.3, 8, uint64(users-1))
+	schedule := make([]qitem, perPhase)
+	for i := range schedule {
+		schedule[i] = qitem{user: int(zipf.Uint64()), q: shapes[i%len(shapes)]}
+	}
+	runPhase := func(d *gpssn.DB) []float64 {
+		lat := make([]float64, 0, len(schedule))
+		for _, it := range schedule {
+			t0 := time.Now()
+			_, _, err := d.Query(it.user, it.q)
+			if err != nil && !errors.Is(err, gpssn.ErrNoAnswer) {
+				return lat // surfaced through zero-length percentiles
+			}
+			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		sort.Float64s(lat)
+		return lat
+	}
+
+	fmt.Fprintf(w, "# Road churn: %d queries/phase over %d users, %d road vertices (GOMAXPROCS=%d)\n",
+		perPhase, users, nVerts, runtime.GOMAXPROCS(0))
+
+	// Phase 1 — static oracle, the pre-churn floor.
+	static := runPhase(db)
+
+	// Churn burst: stitch new intersections in and shortcut existing
+	// ones, timing each facade mutation. The same deterministic burst is
+	// replayed against the reference DB below.
+	var updates []float64
+	edges, verts := 0, 0
+	churnBurst := func(d *gpssn.DB, n *gpssn.Network, record bool) error {
+		churnRng := rand.New(rand.NewSource(cfg.Seed + 2))
+		nMut := 2 + nVerts/100
+		for i := 0; i < nMut; i++ {
+			a := churnRng.Intn(nVerts)
+			at := n.Dataset().Road.Vertex(roadnet.VertexID(a))
+			t0 := time.Now()
+			v, err := d.AddRoadVertex(at.X+0.01, at.Y+0.02)
+			if err != nil {
+				return err
+			}
+			if _, err := d.AddRoadEdge(a, v); err != nil {
+				return err
+			}
+			if record {
+				updates = append(updates, float64(time.Since(t0).Microseconds()))
+				verts++
+				edges++
+			}
+		}
+		return nil
+	}
+	gridBefore := netw.Dataset().Road.GridBuilds()
+	if err := churnBurst(db, netw, true); err != nil {
+		return err
+	}
+	sort.Float64s(updates)
+	gridBuilds := netw.Dataset().Road.GridBuilds() - gridBefore
+
+	// Phase 2 — the delta-overlay answers the same schedule.
+	overlay := runPhase(db)
+	ovStats := db.RoadOverlayStats()
+
+	// Dijkstra reference: the cliff the overlay removes — the same churn
+	// burst applied to a DB with no oracle, i.e. the world where a road
+	// mutation detaches the oracle and every dist_RN evaluation pays a
+	// plain heap search. A separate DB over an identical dataset (Open
+	// attaches oracles to the network, so the nets must be distinct).
+	refNet, err := gpssn.GenerateSynthetic(opts)
+	if err != nil {
+		return err
+	}
+	refDB, err := gpssn.Open(refNet, gpssn.Config{Seed: cfg.Seed, DistanceOracle: "dijkstra"})
+	if err != nil {
+		return err
+	}
+	if err := churnBurst(refDB, refNet, false); err != nil {
+		return err
+	}
+	dijkstra := runPhase(refDB)
+
+	// Phase 3 — queries racing the background re-contraction.
+	var during []float64
+	var duringN, duringErr atomic.Int64
+	compactDone := make(chan error, 1)
+	t0 := time.Now()
+	go func() { compactDone <- db.Compact() }()
+	var compactErr error
+	i := 0
+loop:
+	for {
+		select {
+		case compactErr = <-compactDone:
+			break loop
+		default:
+		}
+		it := schedule[i%len(schedule)]
+		i++
+		q0 := time.Now()
+		if _, _, err := db.Query(it.user, it.q); err != nil && !errors.Is(err, gpssn.ErrNoAnswer) {
+			duringErr.Add(1)
+		} else {
+			during = append(during, float64(time.Since(q0).Microseconds())/1000)
+		}
+		duringN.Add(1)
+	}
+	compactMs := float64(time.Since(t0).Microseconds()) / 1000
+	if compactErr != nil {
+		return fmt.Errorf("churn: Compact: %w", compactErr)
+	}
+	sort.Float64s(during)
+
+	// Phase 4 — the freshly contracted world.
+	post := runPhase(db)
+
+	p := func(s []float64, q float64) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		return s[int(q*float64(len(s)-1))]
+	}
+	rpt := churnReport{
+		Scale: cfg.Scale, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Users: users, RoadVertices: nVerts, POIs: netw.NumPOIs(),
+		QueriesPhase: perPhase,
+		StaticP50Ms:  p(static, 0.50), StaticP99Ms: p(static, 0.99),
+		OverlayP50Ms: p(overlay, 0.50), OverlayP99Ms: p(overlay, 0.99),
+		CompactP50Ms: p(during, 0.50),
+		PostP50Ms:    p(post, 0.50), PostP99Ms: p(post, 0.99),
+		DijkstraP50Ms:        p(dijkstra, 0.50),
+		EdgesAdded:           edges,
+		VertsAdded:           verts,
+		UpdateP50Us:          p(updates, 0.50),
+		UpdateP99Us:          p(updates, 0.99),
+		GridBuildsChurn:      gridBuilds,
+		CompactMs:            compactMs,
+		QueriesDuringCompact: duringN.Load(),
+		ErrorsDuringCompact:  duringErr.Load(),
+		Overlay:              ovStats,
+	}
+	if rpt.StaticP50Ms > 0 {
+		rpt.OverlaySlowdown = rpt.OverlayP50Ms / rpt.StaticP50Ms
+	}
+	if rpt.OverlayP50Ms > 0 {
+		rpt.CliffRatio = rpt.DijkstraP50Ms / rpt.OverlayP50Ms
+	}
+
+	fmt.Fprintf(w, "churn burst: +%d vertices, +%d edges (update p50 %.0fµs p99 %.0fµs, %d grid rebuilds)\n",
+		verts, edges, rpt.UpdateP50Us, rpt.UpdateP99Us, gridBuilds)
+	fmt.Fprintf(w, "overlay: %d portals over base %d, %d composed queries\n",
+		ovStats.Portals, ovStats.BaseN, ovStats.Queries)
+	fmt.Fprintf(w, "%-26s %10s %10s\n", "regime", "p50", "p99")
+	fmt.Fprintf(w, "%-26s %8.2fms %8.2fms\n", "static oracle", rpt.StaticP50Ms, rpt.StaticP99Ms)
+	fmt.Fprintf(w, "%-26s %8.2fms %8.2fms\n", "delta-overlay (churned)", rpt.OverlayP50Ms, rpt.OverlayP99Ms)
+	fmt.Fprintf(w, "%-26s %8.2fms\n", "during background Compact", rpt.CompactP50Ms)
+	fmt.Fprintf(w, "%-26s %8.2fms %8.2fms\n", "post-Compact", rpt.PostP50Ms, rpt.PostP99Ms)
+	fmt.Fprintf(w, "%-26s %8.2fms   (the removed cliff)\n", "dijkstra reference", rpt.DijkstraP50Ms)
+	fmt.Fprintf(w, "overlay slowdown %.2fx vs static; dijkstra cliff %.1fx vs overlay\n",
+		rpt.OverlaySlowdown, rpt.CliffRatio)
+	fmt.Fprintf(w, "Compact ran %.0fms in the background; %d queries completed meanwhile, %d errors\n",
+		rpt.CompactMs, rpt.QueriesDuringCompact, rpt.ErrorsDuringCompact)
+	fmt.Fprintln(w, "# all four regimes answer exactly (equality gates: TestRoadChurnEqualityGates)")
+
+	if cfg.JSONOut != "" {
+		b, err := json.MarshalIndent(rpt, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# JSON report written to %s\n", cfg.JSONOut)
+	}
+	return nil
+}

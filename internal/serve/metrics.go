@@ -67,6 +67,13 @@ type metricsSnapshot struct {
 	// disabled (Config.DisableSharedWork at the facade).
 	SharedWork *sharedWorkJSON `json:"shared_work,omitempty"`
 
+	// Road delta-overlay state; omitted while the oracle is static (no
+	// road mutation since Open or the last Compact).
+	RoadOverlay *roadOverlayJSON `json:"road_overlay,omitempty"`
+
+	// True while a background Compact re-contraction is in flight.
+	Rebuilding bool `json:"rebuilding,omitempty"`
+
 	// Memory accounting: engine-owned structures plus the Go heap.
 	// Always present.
 	Memory *memoryJSON `json:"memory,omitempty"`
@@ -84,6 +91,18 @@ type memoryJSON struct {
 	HeapAlloc   uint64 `json:"heap_alloc_bytes"`
 	HeapSys     uint64 `json:"heap_sys_bytes"`
 	NumGC       uint32 `json:"gc_cycles_total"`
+}
+
+// roadOverlayJSON mirrors gpssn.RoadOverlayStats for /statsz: how far the
+// road network has grown past the static oracle and how big the portal
+// patch has become — the number an operator watches to schedule Compact
+// under sustained write traffic.
+type roadOverlayJSON struct {
+	BaseVertices int   `json:"base_vertices"`
+	NewVertices  int   `json:"new_vertices"`
+	NewEdges     int   `json:"new_edges"`
+	Portals      int   `json:"portals"`
+	Queries      int64 `json:"composed_queries_total"`
 }
 
 // sharedWorkJSON mirrors gpssn.SharedWorkStats for /statsz. HitRate is

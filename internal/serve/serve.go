@@ -268,6 +268,16 @@ func (s *Server) snapshot() metricsSnapshot {
 		}
 		snap.SharedWork = &j
 	}
+	if ov := s.db.RoadOverlayStats(); ov.Active {
+		snap.RoadOverlay = &roadOverlayJSON{
+			BaseVertices: ov.BaseN,
+			NewVertices:  ov.NewVerts,
+			NewEdges:     ov.NewEdges,
+			Portals:      ov.Portals,
+			Queries:      ov.Queries,
+		}
+	}
+	snap.Rebuilding = s.db.Health().Rebuilding
 	ms := s.db.MemoryStats()
 	snap.Memory = &memoryJSON{
 		OracleBytes: ms.OracleBytes,

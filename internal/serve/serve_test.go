@@ -507,3 +507,61 @@ func TestRequestTimeoutMaps504(t *testing.T) {
 		t.Fatalf("code = %q, want deadline_exceeded", e.Code)
 	}
 }
+
+// TestStatszRoadOverlay checks that /statsz surfaces the road
+// delta-overlay while it is active and drops the block once Compact has
+// re-contracted the oracle.
+func TestStatszRoadOverlay(t *testing.T) {
+	db := testDB(t, gpssn.Config{})
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	statsz := func() map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("/statsz status %d err %v", resp.StatusCode, err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("decoding /statsz: %v", err)
+		}
+		return m
+	}
+
+	if m := statsz(); m["road_overlay"] != nil {
+		t.Fatalf("static oracle should surface no road_overlay block: %s", m["road_overlay"])
+	}
+
+	v, err := db.AddRoadVertex(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddRoadEdge(0, v); err != nil {
+		t.Fatal(err)
+	}
+	m := statsz()
+	if m["road_overlay"] == nil {
+		t.Fatal("/statsz missing road_overlay after a road mutation")
+	}
+	var ov roadOverlayJSON
+	if err := json.Unmarshal(m["road_overlay"], &ov); err != nil {
+		t.Fatalf("decoding road_overlay block: %v", err)
+	}
+	if ov.BaseVertices != 6 || ov.NewVertices != 1 || ov.NewEdges != 1 || ov.Portals < 2 {
+		t.Fatalf("road_overlay counters off: %+v", ov)
+	}
+
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if m := statsz(); m["road_overlay"] != nil {
+		t.Fatalf("Compact should retire the road_overlay block: %s", m["road_overlay"])
+	}
+}

@@ -44,7 +44,7 @@ func mutateBoth(t testing.TB, dbs ...*DB) {
 			if err != nil {
 				t.Fatalf("AddUser: %v", err)
 			}
-			if err := db.AddFriendship(i, u); err != nil {
+			if _, err := db.AddFriendship(i, u); err != nil {
 				t.Fatalf("AddFriendship: %v", err)
 			}
 		}
@@ -234,7 +234,7 @@ func TestSharedWorkRaceStress(t *testing.T) {
 				failed.Store(true)
 				return
 			}
-			if err := on.AddFriendship(users[i], u); err != nil {
+			if _, err := on.AddFriendship(users[i], u); err != nil {
 				t.Errorf("AddFriendship: %v", err)
 				failed.Store(true)
 				return
@@ -273,7 +273,7 @@ func TestSharedWorkRaceStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := off.AddFriendship(users[i], u); err != nil {
+		if _, err := off.AddFriendship(users[i], u); err != nil {
 			t.Fatal(err)
 		}
 		if i == 1 {
