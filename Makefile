@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix churn-suite bench-parallel bench-smoke bench-churn bench-serve bench-scale bench-guard
+.PHONY: check vet lint build test race examples docs-lint serve-smoke fuzz-smoke snapshot-matrix churn-suite crash-suite bench-parallel bench-smoke bench-churn bench-serve bench-scale bench-guard
 
 check: vet lint build test race
 
@@ -49,13 +49,14 @@ docs-lint:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-# Short native-fuzz runs over the hostile-input surfaces (CSV import and
-# snapshot decode). ~30s each; CI runs this on every push, and longer
-# local runs just raise FUZZTIME. See docs/ROBUSTNESS.md §5.
+# Short native-fuzz runs over the hostile-input surfaces (CSV import,
+# snapshot decode, WAL replay). ~30s each; CI runs this on every push, and
+# longer local runs just raise FUZZTIME. See docs/ROBUSTNESS.md §5.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzImportCSV$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
 
 # The snapshot round-trip and corruption/torn-write matrix on its own —
 # the recovery gates the robustness PR promises (docs/ROBUSTNESS.md §4).
@@ -68,6 +69,16 @@ snapshot-matrix:
 # (docs/CONCURRENCY.md §7, docs/ROBUSTNESS.md §6).
 churn-suite:
 	$(GO) test -race -run 'TestRoadChurn|TestDBConcurrentRoadChurn|TestCompact|TestRoadOverlay|TestRoadMutation|TestAddFriendshipInvalid|TestDuplicateFriendship|TestOverlay' -count=1 -v . ./internal/roadnet/
+
+# The WAL crash matrix and durability gates on their own: kill points and
+# corruption modes in the write path (torn tails, short writes, bit flips,
+# both checkpoint windows) recovered bit-identical to a never-crashed twin
+# across all oracle backends, plus the facade durability round-trip,
+# rejection atomicity, delta folding, and the wal package's own tests
+# (docs/ROBUSTNESS.md §8).
+crash-suite:
+	$(GO) test -run 'TestWAL|TestSnapshotFoldsPendingDeltas|TestOverlayAutoCompact|TestDBClose' -count=1 -v .
+	$(GO) test -count=1 -v ./internal/wal
 
 # The parallel-refinement speedup table (recorded in EXPERIMENTS.md).
 bench-parallel:
@@ -89,6 +100,7 @@ bench-smoke:
 # recorded in EXPERIMENTS.md).
 bench-churn:
 	$(GO) run ./cmd/gpssn-bench -exp churn -scale 0.05 -queries 48 -jsonout BENCH_churn.json
+	$(GO) run ./cmd/gpssn-bench -exp walchurn -scale 0.05 -jsonout BENCH_wal.json
 
 # The million-scale tier: generate ~1M road vertices / ~1M users with the
 # streaming lattice generator, build CH + hub labels, run the default query

@@ -30,6 +30,7 @@ func main() {
 	// -exp serve/churn and -list see them.
 	bench.Register(serve.LoadExperiment())
 	bench.Register(serve.ChurnExperiment())
+	bench.Register(serve.WALChurnExperiment())
 	var (
 		exp     = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
 		scale   = flag.Float64("scale", 0.1, "dataset scale relative to the paper (1.0 = published sizes)")

@@ -35,6 +35,8 @@ func main() {
 		k       = flag.Int("k", 1, "number of answers (distinct anchors)")
 		trace   = flag.Bool("trace", false, "log the query's pruning phases to stderr")
 		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
+		walPath = flag.String("wal", "", "attach a write-ahead log: a log left behind by a crashed process is replayed before the query runs (see docs/ROBUSTNESS.md)")
+		walSync = flag.String("wal-sync", "always", "WAL fsync policy: always, batch, or none")
 	)
 	flag.Parse()
 	if (*data == "") == (*snapIn == "") {
@@ -47,6 +49,8 @@ func main() {
 	cfg.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "gpssn-query: "+format+"\n", args...)
 	}
+	cfg.WALPath = *walPath
+	cfg.WALSync = *walSync
 	var db *gpssn.DB
 	if *snapIn != "" {
 		var err error

@@ -50,6 +50,12 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before exiting anyway")
 		gather   = flag.Duration("gather-window", time.Millisecond, "hold each query up to this long so overlapping requests fold into one shared ball/sweep pass (0 disables)")
 		noShared = flag.Bool("no-shared-work", false, "disable the cross-query shared-work memo (answers are identical either way; for A/B measurement)")
+		walPath  = flag.String("wal", "", "write-ahead log path: every accepted update is durable before it is acknowledged, and a crash replays the log on restart (see docs/ROBUSTNESS.md)")
+		walSync  = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per update), batch (group commit, see -wal-flush), none (OS page cache only)")
+		walFlush = flag.Duration("wal-flush", 0, "group-commit window for -wal-sync batch (0 = the library default)")
+		walAuto  = flag.Int64("wal-auto-checkpoint-bytes", 64<<20, "checkpoint in the background once the log exceeds this many bytes (0 disables)")
+		ckptPath = flag.String("checkpoint", "", "checkpoint snapshot path for auto- and shutdown checkpoints (default: <wal>.ckpt)")
+		portals  = flag.Int("overlay-compact-portals", 0, "auto-Compact in the background once the road delta-overlay exceeds this many portals (0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "gpssn-serve: ", log.LstdFlags)
@@ -66,6 +72,12 @@ func main() {
 	cfg.Parallelism = *par
 	cfg.DisableSharedWork = *noShared
 	cfg.Logf = logger.Printf
+	cfg.WALPath = *walPath
+	cfg.WALSync = *walSync
+	cfg.WALFlushWindow = *walFlush
+	cfg.WALAutoCheckpointBytes = *walAuto
+	cfg.CheckpointPath = *ckptPath
+	cfg.OverlayCompactPortals = *portals
 
 	db, err := openDB(*data, *snapIn, cfg)
 	if err != nil {
@@ -115,6 +127,25 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Printf("shutdown: %v", err)
 			os.Exit(1)
+		}
+		// With the WAL attached and no writes arriving anymore, park the
+		// durable state as a checkpoint: the restart opens it and replays
+		// an empty log instead of the whole write history.
+		if *walPath != "" {
+			ckpt := *ckptPath
+			if ckpt == "" {
+				ckpt = *walPath + ".ckpt"
+			}
+			if st := db.WALStats(); st.Pending > 0 {
+				if err := db.Checkpoint(ckpt); err != nil {
+					logger.Printf("shutdown checkpoint: %v (the wal still holds everything; restart will replay it)", err)
+				} else {
+					logger.Printf("checkpointed %d pending update(s) to %s", st.Pending, ckpt)
+				}
+			}
+		}
+		if err := db.Close(); err != nil {
+			logger.Printf("close: %v", err)
 		}
 		logger.Printf("drained; bye")
 	case err := <-errc:

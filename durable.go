@@ -1,0 +1,405 @@
+package gpssn
+
+import (
+	"fmt"
+
+	"gpssn/internal/snap"
+	"gpssn/internal/wal"
+)
+
+// Durability: when Config.WALPath is set, every successful dynamic update
+// is framed as a WAL record and appended — and fsynced per Config.WALSync
+// — *before* it is applied to the in-memory state (append-before-apply,
+// under the same db.upd/db.mu critical section as the apply, so LSN order
+// is apply order). Open and OpenSnapshot replay the surviving log on top
+// of the loaded base state; because each record stores the mutation's
+// *inputs* and every apply step is deterministic given the state it runs
+// against, replay in LSN order reconstructs the exact pre-crash state —
+// gated bit-identical against a never-crashed twin by the crash matrix in
+// wal_crash_test.go. Snapshot doubles as the checkpoint: it persists the
+// applied LSN, then truncates the log. docs/ROBUSTNESS.md §7 is the full
+// contract.
+
+// Record payload codecs. Payloads reuse the snapshot codec (little-endian,
+// length-prefixed slices) and store exactly the public mutation's
+// arguments: replay re-enters the same validate+apply path the original
+// call took, so derived state (snapped locations, assigned ids, overlay
+// patches) is recomputed, not trusted from disk.
+
+func encodeAddPOI(x, y float64, keywords []int) []byte {
+	var e snap.Enc
+	e.F64(x)
+	e.F64(y)
+	ks := make([]int32, len(keywords))
+	for i, k := range keywords {
+		ks[i] = int32(k)
+	}
+	e.I32s(ks)
+	return e.B
+}
+
+func decodeAddPOI(p []byte) (x, y float64, keywords []int, err error) {
+	d := &snap.Dec{B: p}
+	x, y = d.F64(), d.F64()
+	ks := d.I32s()
+	if err := payloadErr(d); err != nil {
+		return 0, 0, nil, err
+	}
+	keywords = make([]int, len(ks))
+	for i, k := range ks {
+		keywords[i] = int(k)
+	}
+	return x, y, keywords, nil
+}
+
+func encodeAddUser(x, y float64, interests []float64) []byte {
+	var e snap.Enc
+	e.F64(x)
+	e.F64(y)
+	e.F64s(interests)
+	return e.B
+}
+
+func decodeAddUser(p []byte) (x, y float64, interests []float64, err error) {
+	d := &snap.Dec{B: p}
+	x, y = d.F64(), d.F64()
+	interests = d.F64s()
+	if err := payloadErr(d); err != nil {
+		return 0, 0, nil, err
+	}
+	return x, y, interests, nil
+}
+
+func encodePair(a, b int) []byte {
+	var e snap.Enc
+	e.U64(uint64(a))
+	e.U64(uint64(b))
+	return e.B
+}
+
+func decodePair(p []byte) (a, b int, err error) {
+	d := &snap.Dec{B: p}
+	a, b = int(d.U64()), int(d.U64())
+	if err := payloadErr(d); err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func encodePoint(x, y float64) []byte {
+	var e snap.Enc
+	e.F64(x)
+	e.F64(y)
+	return e.B
+}
+
+func decodePoint(p []byte) (x, y float64, err error) {
+	d := &snap.Dec{B: p}
+	x, y = d.F64(), d.F64()
+	if err := payloadErr(d); err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+// payloadErr finishes a payload decode: a decoder error or trailing bytes
+// mean the record body — though its checksum passed — is not a payload
+// this version wrote.
+func payloadErr(d *snap.Dec) error {
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("trailing bytes after payload")
+	}
+	return nil
+}
+
+// openWAL opens (or creates) the log at c.WALPath against a base state
+// whose applied LSN is base, replays every surviving record past base
+// onto db, and attaches the log for subsequent appends. Called by
+// Open/OpenSnapshot before the DB is published, so no locking.
+func (db *DB) openWAL(c Config, base uint64) error {
+	pol, err := wal.ParseSyncPolicy(c.WALSync)
+	if err != nil {
+		return invalidf("%v", err)
+	}
+	l, recs, err := wal.Open(c.WALPath, base+1, wal.Options{Sync: pol, FlushWindow: c.WALFlushWindow})
+	if err != nil {
+		return walErr(err)
+	}
+	if st := l.StartLSN(); st > base+1 {
+		l.Close()
+		return &WALError{Path: c.WALPath, LSN: base,
+			Reason: fmt.Sprintf("log starts at LSN %d but the base state is at LSN %d; open the checkpoint this log pairs with", st, base)}
+	}
+	applied, replayed := base, 0
+	for _, rec := range recs {
+		if rec.LSN <= base {
+			// The checkpoint already holds this record: a crash landed
+			// between the snapshot rename and the log truncation.
+			continue
+		}
+		if err := db.replayRecord(rec); err != nil {
+			l.Close()
+			return &WALError{Path: c.WALPath, LSN: rec.LSN,
+				Reason: fmt.Sprintf("replaying %s: %v (log does not pair with this base state?)", rec.Kind, err)}
+		}
+		applied = rec.LSN
+		replayed++
+	}
+	if st := l.Stats(); replayed > 0 || st.TornBytesDropped > 0 {
+		note := fmt.Sprintf("wal: replayed %d update(s) to LSN %d", replayed, applied)
+		if st.TornBytesDropped > 0 {
+			note += fmt.Sprintf("; dropped %d-byte torn tail", st.TornBytesDropped)
+		}
+		db.health.Notes = append(db.health.Notes, note)
+		c.logf("gpssn: %s", note)
+	}
+	db.wal = l
+	db.appliedLSN = applied
+	return nil
+}
+
+// replayRecord re-runs one logged mutation through the same checked apply
+// path the original call took. Any failure means the log and the base
+// state do not belong together.
+func (db *DB) replayRecord(rec wal.Record) error {
+	switch rec.Kind {
+	case wal.KindAddPOI:
+		x, y, kws, err := decodeAddPOI(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := db.checkAddPOI(x, y, kws); err != nil {
+			return err
+		}
+		_, err = db.applyAddPOI(x, y, kws)
+		return err
+	case wal.KindAddUser:
+		x, y, in, err := decodeAddUser(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := db.checkAddUser(x, y, in); err != nil {
+			return err
+		}
+		_, err = db.applyAddUser(x, y, in)
+		return err
+	case wal.KindAddFriendship:
+		a, b, err := decodePair(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := db.checkAddFriendship(a, b); err != nil {
+			return err
+		}
+		return db.applyAddFriendship(a, b)
+	case wal.KindAddRoadVertex:
+		x, y, err := decodePoint(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := db.checkAddRoadVertex(x, y); err != nil {
+			return err
+		}
+		_, err = db.applyAddRoadVertex(x, y)
+		return err
+	case wal.KindAddRoadEdge:
+		u, v, err := decodePair(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := db.checkAddRoadEdge(u, v); err != nil {
+			return err
+		}
+		_, err = db.applyAddRoadEdge(u, v)
+		return err
+	}
+	return fmt.Errorf("unknown record kind %d", rec.Kind)
+}
+
+// walAppend frames and appends one record ahead of its apply. Called with
+// db.mu held exclusively. With no WAL attached it is a no-op returning
+// lsn 0.
+func (db *DB) walAppend(kind wal.Kind, payload []byte) (uint64, error) {
+	if db.wal == nil {
+		return 0, nil
+	}
+	lsn, err := db.wal.Append(kind, payload)
+	if err != nil {
+		return 0, fmt.Errorf("gpssn: wal: %w", err)
+	}
+	return lsn, nil
+}
+
+// walCommit marks one appended record applied. Called with db.mu held
+// exclusively, after the apply step succeeded.
+func (db *DB) walCommit(lsn uint64) {
+	if db.wal != nil {
+		db.appliedLSN = lsn
+	}
+}
+
+// walRollback physically undoes the most recent append after its apply
+// step failed, so the log never replays a mutation the live DB rejected.
+// Rollback can itself fail (the log is poisoned as a crash would leave
+// it); the apply error is what the caller reports either way, with the
+// rollback failure recorded as a health note.
+func (db *DB) walRollback(lsn uint64) {
+	if db.wal == nil {
+		return
+	}
+	if err := db.wal.Rollback(lsn); err != nil {
+		db.health.Notes = append(db.health.Notes,
+			fmt.Sprintf("wal: rollback of LSN %d failed (%v); log needs recovery on next open", lsn, err))
+	}
+}
+
+// WALStats is an observable snapshot of the attached write-ahead log:
+// the LSN window the file covers, the applied LSN, pending (logged but
+// not yet checkpointed) record count, and lifetime append/fsync counters.
+// Enabled is false — and everything else zero — when the DB was opened
+// without Config.WALPath. gpssn-serve surfaces it under /statsz.
+type WALStats struct {
+	Enabled bool
+	// Path and Sync echo the configuration.
+	Path string
+	Sync string
+	// StartLSN/LastLSN bound the records the file currently holds;
+	// AppliedLSN is the newest record applied to the in-memory state.
+	StartLSN, LastLSN, AppliedLSN uint64
+	// Pending is the record count awaiting the next checkpoint; Bytes the
+	// file size. Auto-checkpoint triggers on Bytes (Config.WALAutoCheckpointBytes).
+	Pending, Bytes int64
+	// Appends and Fsyncs count this process's lifetime log activity.
+	Appends, Fsyncs int64
+	// TornBytesDropped is the torn tail discarded at open (0 = clean).
+	TornBytesDropped int64
+}
+
+// WALStats snapshots the write-ahead log counters. Safe for concurrent
+// use.
+func (db *DB) WALStats() WALStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return WALStats{}
+	}
+	st := db.wal.Stats()
+	return WALStats{
+		Enabled:          true,
+		Path:             st.Path,
+		Sync:             st.Sync,
+		StartLSN:         st.StartLSN,
+		LastLSN:          st.LastLSN,
+		AppliedLSN:       db.appliedLSN,
+		Pending:          st.Records,
+		Bytes:            st.Bytes,
+		Appends:          st.Appends,
+		Fsyncs:           st.Fsyncs,
+		TornBytesDropped: st.TornBytesDropped,
+	}
+}
+
+// Checkpoint makes the log's records redundant by snapshotting the full
+// state to path and truncating the log: exactly Snapshot, which already
+// performs the checkpoint protocol when a WAL is attached. Named here so
+// the serving lifecycle (drain → checkpoint → exit) reads as what it is.
+func (db *DB) Checkpoint(path string) error { return db.Snapshot(path) }
+
+// Close shuts down the DB's background half: it waits out any in-flight
+// auto-maintenance pass, permanently disables further ones, and closes
+// the write-ahead log (flushing outstanding batched appends). After
+// Close, queries keep working but dynamic updates on a WAL-backed DB
+// fail — there is no log left to make them durable. Idempotent.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	// Acquiring the maintenance token waits for an in-flight pass (it may
+	// be about to checkpoint the very log being closed); never releasing
+	// it keeps any future pass from starting.
+	db.maintTok <- struct{}{}
+
+	db.upd.Lock()
+	defer db.upd.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Close(); err != nil {
+		return fmt.Errorf("gpssn: wal: %w", err)
+	}
+	return nil
+}
+
+// maybeMaintain runs after every successful mutation, outside both locks:
+// it checks the auto-maintenance triggers and, at most one at a time,
+// runs the needed work in the background so the mutating caller never
+// blocks on a re-contraction or a checkpoint.
+//
+//   - Config.OverlayCompactPortals: the road delta-overlay's portal patch
+//     costs Portals² per composed distance, so when the portal count
+//     crosses the bound, Compact re-contracts the oracle and drains the
+//     overlay (the ROADMAP's "overlay compaction thresholds" item).
+//   - Config.WALAutoCheckpointBytes: when the log outgrows the bound, a
+//     checkpoint to Config.CheckpointPath absorbs it and truncates.
+//
+// A Compact triggered here is followed by a checkpoint when a WAL is
+// attached: the rebuild proves the full state is reconstructible, and the
+// checkpoint makes that durable so the log shrinks too.
+func (db *DB) maybeMaintain() {
+	needCompact := db.cfg.OverlayCompactPortals > 0 &&
+		db.RoadOverlayStats().Portals > db.cfg.OverlayCompactPortals
+	needCkpt := db.cfg.WALAutoCheckpointBytes > 0 && db.cfg.CheckpointPath != "" &&
+		db.walSize() > db.cfg.WALAutoCheckpointBytes
+	if !needCompact && !needCkpt {
+		return
+	}
+	if db.closed.Load() {
+		return
+	}
+	select {
+	case db.maintTok <- struct{}{}:
+	default:
+		return // one maintenance pass at a time; the next mutation re-checks
+	}
+	db.maintaining.Store(true)
+	go func() {
+		defer func() {
+			db.maintaining.Store(false)
+			<-db.maintTok
+		}()
+		if needCompact {
+			if err := db.Compact(); err == nil && db.cfg.CheckpointPath != "" && db.walSize() > 0 {
+				needCkpt = true
+			}
+		}
+		if needCkpt {
+			if err := db.Snapshot(db.cfg.CheckpointPath); err != nil {
+				db.mu.Lock()
+				db.health.Notes = append(db.health.Notes,
+					fmt.Sprintf("auto-checkpoint to %s failed (%v); will retry on the next trigger", db.cfg.CheckpointPath, err))
+				db.mu.Unlock()
+				db.cfg.logf("gpssn: auto-checkpoint failed: %v", err)
+			}
+		}
+	}()
+}
+
+// walSize reads the log size without assuming any DB lock.
+func (db *DB) walSize() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.Size()
+}
+
+// Maintaining reports whether a background auto-maintenance pass
+// (auto-Compact or auto-checkpoint) is in flight. Tests and the serving
+// layer use it to wait for the overlay to drain.
+func (db *DB) Maintaining() bool { return db.maintaining.Load() }

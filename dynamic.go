@@ -8,6 +8,7 @@ import (
 	"gpssn/internal/model"
 	"gpssn/internal/roadnet"
 	"gpssn/internal/socialnet"
+	"gpssn/internal/wal"
 )
 
 // finite reports whether every coordinate is an ordinary float within
@@ -43,27 +44,67 @@ func finite(vs ...float64) bool {
 // Invalidation is per update kind: a change that provably cannot affect
 // any cached answer (an isolated road vertex, a duplicate friendship)
 // flushes nothing.
+//
+// Durability (durable.go): with Config.WALPath set, each mutator splits
+// into a check step (all validation and every precondition that could
+// fail, run first — a rejected call touches neither the WAL nor any
+// state), a WAL append of the mutation's arguments, and an apply step
+// (deterministic given the state it runs against, shared verbatim with
+// crash-recovery replay). No-ops — a duplicate friendship — are detected
+// in the check step and never logged.
 
 // AddPOI adds a POI at (x, y) — snapped onto the nearest road segment —
 // with the given keywords, and returns its id. The POI is queryable
 // immediately. Safe for concurrent use; blocks until in-flight queries
 // drain.
 func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
+	id, err := db.addPOI(x, y, keywords)
+	if err == nil {
+		db.maybeMaintain()
+	}
+	return id, err
+}
+
+func (db *DB) addPOI(x, y float64, keywords []int) (int, error) {
 	db.upd.Lock()
 	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkAddPOI(x, y, keywords); err != nil {
+		return 0, err
+	}
+	lsn, err := db.walAppend(wal.KindAddPOI, encodeAddPOI(x, y, keywords))
+	if err != nil {
+		return 0, err
+	}
+	id, err := db.applyAddPOI(x, y, keywords)
+	if err != nil {
+		db.walRollback(lsn)
+		return 0, err
+	}
+	db.walCommit(lsn)
+	return id, nil
+}
+
+func (db *DB) checkAddPOI(x, y float64, keywords []int) error {
 	if !finite(x, y) {
-		return 0, invalidf("POI coordinates (%v, %v) must be finite", x, y)
+		return invalidf("POI coordinates (%v, %v) must be finite", x, y)
 	}
 	if len(keywords) == 0 {
-		return 0, invalidf("POI needs at least one keyword")
+		return invalidf("POI needs at least one keyword")
 	}
 	for _, k := range keywords {
 		if k < 0 || k >= db.net.ds.NumTopics {
-			return 0, invalidf("POI keyword %d outside vocabulary [0,%d)", k, db.net.ds.NumTopics)
+			return invalidf("POI keyword %d outside vocabulary [0,%d)", k, db.net.ds.NumTopics)
 		}
 	}
+	if _, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y)); !ok {
+		return fmt.Errorf("gpssn: no road to snap the POI onto")
+	}
+	return nil
+}
+
+func (db *DB) applyAddPOI(x, y float64, keywords []int) (int, error) {
 	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
 	if !ok {
 		return 0, fmt.Errorf("gpssn: no road to snap the POI onto")
@@ -87,18 +128,50 @@ func (db *DB) AddPOI(x, y float64, keywords ...int) (int, error) {
 // user eligible for groups of size > 1. Safe for concurrent use; blocks
 // until in-flight queries drain.
 func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
+	id, err := db.addUser(x, y, interests)
+	if err == nil {
+		db.maybeMaintain()
+	}
+	return id, err
+}
+
+func (db *DB) addUser(x, y float64, interests []float64) (int, error) {
 	db.upd.Lock()
 	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkAddUser(x, y, interests); err != nil {
+		return 0, err
+	}
+	lsn, err := db.walAppend(wal.KindAddUser, encodeAddUser(x, y, interests))
+	if err != nil {
+		return 0, err
+	}
+	id, err := db.applyAddUser(x, y, interests)
+	if err != nil {
+		db.walRollback(lsn)
+		return 0, err
+	}
+	db.walCommit(lsn)
+	return id, nil
+}
+
+func (db *DB) checkAddUser(x, y float64, interests []float64) error {
 	if !finite(x, y) {
-		return 0, invalidf("user coordinates (%v, %v) must be finite", x, y)
+		return invalidf("user coordinates (%v, %v) must be finite", x, y)
 	}
 	for f, p := range interests {
 		if math.IsNaN(p) || p < 0 || p > 1 {
-			return 0, invalidf("user interest %d = %v outside [0,1]", f, p)
+			return invalidf("user interest %d = %v outside [0,1]", f, p)
 		}
 	}
+	if _, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y)); !ok {
+		return fmt.Errorf("gpssn: no road to snap the user onto")
+	}
+	return nil
+}
+
+func (db *DB) applyAddUser(x, y float64, interests []float64) (int, error) {
 	at, ok := db.net.ds.Road.SnapPoint(geo.Pt(x, y))
 	if !ok {
 		return 0, fmt.Errorf("gpssn: no road to snap the user onto")
@@ -120,30 +193,65 @@ func (db *DB) AddUser(x, y float64, interests []float64) (int, error) {
 // AddFriendship records a friendship between two users (existing or newly
 // added). The bool reports whether the social graph actually changed: a
 // friendship that already exists is a no-op, returns (false, nil), and —
-// because it cannot affect any answer — does not flush the answer cache.
-// Out-of-range ids and self-friendships return an error matching
-// ErrInvalidInput (they used to panic). Safe for concurrent use; blocks
-// until in-flight queries drain.
+// because it cannot affect any answer — does not flush the answer cache
+// (or log anything). Out-of-range ids and self-friendships return an
+// error matching ErrInvalidInput (they used to panic). Safe for
+// concurrent use; blocks until in-flight queries drain.
 func (db *DB) AddFriendship(a, b int) (bool, error) {
+	added, err := db.addFriendship(a, b)
+	if err == nil && added {
+		db.maybeMaintain()
+	}
+	return added, err
+}
+
+func (db *DB) addFriendship(a, b int) (bool, error) {
 	db.upd.Lock()
 	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	n := len(db.net.ds.Users)
-	if a < 0 || a >= n || b < 0 || b >= n {
-		return false, invalidf("friendship %d-%d out of range [0,%d)", a, b, n)
+	if err := db.checkAddFriendship(a, b); err != nil {
+		return false, err
 	}
-	if a == b {
-		return false, invalidf("self-friendship at user %d", a)
+	if db.net.ds.Social.AreFriends(socialnet.UserID(a), socialnet.UserID(b)) {
+		return false, nil // no-op: nothing to make durable
 	}
-	added, err := db.engine.AddFriendship(socialnet.UserID(a), socialnet.UserID(b))
+	lsn, err := db.walAppend(wal.KindAddFriendship, encodePair(a, b))
 	if err != nil {
 		return false, err
 	}
-	if added {
-		db.cache.invalidate()
+	if err := db.applyAddFriendship(a, b); err != nil {
+		db.walRollback(lsn)
+		return false, err
 	}
-	return added, nil
+	db.walCommit(lsn)
+	return true, nil
+}
+
+func (db *DB) checkAddFriendship(a, b int) error {
+	n := len(db.net.ds.Users)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return invalidf("friendship %d-%d out of range [0,%d)", a, b, n)
+	}
+	if a == b {
+		return invalidf("self-friendship at user %d", a)
+	}
+	return nil
+}
+
+func (db *DB) applyAddFriendship(a, b int) error {
+	added, err := db.engine.AddFriendship(socialnet.UserID(a), socialnet.UserID(b))
+	if err != nil {
+		return err
+	}
+	if !added {
+		// The caller pre-checked AreFriends, so this only happens when a
+		// WAL is replayed against a base state that already holds the
+		// friendship — a log/state mismatch, not a no-op.
+		return fmt.Errorf("gpssn: friendship %d-%d already present", a, b)
+	}
+	db.cache.invalidate()
+	return nil
 }
 
 // AddRoadVertex adds a road intersection at (x, y) and returns its id.
@@ -152,13 +260,42 @@ func (db *DB) AddFriendship(a, b int) (bool, error) {
 // nothing — no cached answer, no memoized work, no pruning state. Safe
 // for concurrent use; blocks until in-flight queries drain.
 func (db *DB) AddRoadVertex(x, y float64) (int, error) {
+	id, err := db.addRoadVertex(x, y)
+	if err == nil {
+		db.maybeMaintain()
+	}
+	return id, err
+}
+
+func (db *DB) addRoadVertex(x, y float64) (int, error) {
 	db.upd.Lock()
 	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if !finite(x, y) {
-		return 0, invalidf("road vertex coordinates (%v, %v) must be finite", x, y)
+	if err := db.checkAddRoadVertex(x, y); err != nil {
+		return 0, err
 	}
+	lsn, err := db.walAppend(wal.KindAddRoadVertex, encodePoint(x, y))
+	if err != nil {
+		return 0, err
+	}
+	id, err := db.applyAddRoadVertex(x, y)
+	if err != nil {
+		db.walRollback(lsn)
+		return 0, err
+	}
+	db.walCommit(lsn)
+	return id, nil
+}
+
+func (db *DB) checkAddRoadVertex(x, y float64) error {
+	if !finite(x, y) {
+		return invalidf("road vertex coordinates (%v, %v) must be finite", x, y)
+	}
+	return nil
+}
+
+func (db *DB) applyAddRoadVertex(x, y float64) (int, error) {
 	v, err := db.engine.AddRoadVertex(geo.Pt(x, y))
 	if err != nil {
 		return 0, err
@@ -175,24 +312,54 @@ func (db *DB) AddRoadVertex(x, y float64) (int, error) {
 // ErrInvalidInput (the internal roadnet panic is reserved for misuse of
 // the internal API). The answer cache and the shared-work memo are
 // flushed: a new segment can shorten any distance. Call Compact
-// periodically under sustained churn to re-contract the oracle and
-// re-arm pivot-based distance pruning. Safe for concurrent use; blocks
-// until in-flight queries drain.
+// periodically under sustained churn — or set
+// Config.OverlayCompactPortals to have it triggered automatically — to
+// re-contract the oracle and re-arm pivot-based distance pruning. Safe
+// for concurrent use; blocks until in-flight queries drain.
 func (db *DB) AddRoadEdge(u, v int) (int, error) {
+	id, err := db.addRoadEdge(u, v)
+	if err == nil {
+		db.maybeMaintain()
+	}
+	return id, err
+}
+
+func (db *DB) addRoadEdge(u, v int) (int, error) {
 	db.upd.Lock()
 	defer db.upd.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkAddRoadEdge(u, v); err != nil {
+		return 0, err
+	}
+	lsn, err := db.walAppend(wal.KindAddRoadEdge, encodePair(u, v))
+	if err != nil {
+		return 0, err
+	}
+	id, err := db.applyAddRoadEdge(u, v)
+	if err != nil {
+		db.walRollback(lsn)
+		return 0, err
+	}
+	db.walCommit(lsn)
+	return id, nil
+}
+
+func (db *DB) checkAddRoadEdge(u, v int) error {
 	n := db.net.ds.Road.NumVertices()
 	if u < 0 || u >= n || v < 0 || v >= n {
-		return 0, invalidf("road edge %d-%d out of range [0,%d)", u, v, n)
+		return invalidf("road edge %d-%d out of range [0,%d)", u, v, n)
 	}
 	if u == v {
-		return 0, invalidf("self-loop road edge at vertex %d", u)
+		return invalidf("self-loop road edge at vertex %d", u)
 	}
 	if db.net.ds.Road.HasEdge(roadnet.VertexID(u), roadnet.VertexID(v)) {
-		return 0, invalidf("duplicate road edge %d-%d", u, v)
+		return invalidf("duplicate road edge %d-%d", u, v)
 	}
+	return nil
+}
+
+func (db *DB) applyAddRoadEdge(u, v int) (int, error) {
 	id, err := db.engine.AddRoadEdge(roadnet.VertexID(u), roadnet.VertexID(v))
 	if err != nil {
 		return 0, err
@@ -265,9 +432,15 @@ func (db *DB) Compact() error {
 	db.mu.Unlock()
 
 	// Off-lock rebuild. db.upd guarantees the clone cannot go stale: no
-	// mutation can land between the clone and the swap.
+	// mutation can land between the clone and the swap. The rebuild runs
+	// without WAL config: the clone already contains every applied update,
+	// the live log stays attached across the swap (Compact changes no
+	// logical state, so the log still replays onto the same checkpoint),
+	// and reopening the log file here would double-apply its records.
+	cfg := db.cfg
+	cfg.WALPath = ""
 	freshNet := &Network{ds: snap}
-	fresh, err := Open(freshNet, db.cfg)
+	fresh, err := Open(freshNet, cfg)
 
 	// Short critical section 2: swap the rebuilt world in, or roll back.
 	db.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 
 	"gpssn/internal/core"
+	"gpssn/internal/wal"
 )
 
 // Typed error taxonomy. Every error a DB returns matches exactly one of
@@ -25,6 +26,17 @@ var ErrInvalidInput = errors.New("gpssn: invalid input")
 // derived oracle sections is not an error — those are rebuilt from the
 // dataset and reported through Health().
 var ErrSnapshotCorrupt = errors.New("gpssn: snapshot corrupt")
+
+// ErrWALCorrupt is matched (errors.Is) by the error Open/OpenSnapshot
+// return when the write-ahead log at Config.WALPath cannot be replayed:
+// mid-log damage (a checksum or LSN-sequence failure before the tail — a
+// torn *tail* is repaired silently, never an error), or a log that does
+// not pair with the base state being opened (it starts past the state's
+// applied LSN, so acknowledged updates would be skipped). The concrete
+// error is a *WALError. Refusing is deliberate: every record past the
+// damage was acknowledged to a caller, and dropping acknowledged updates
+// silently is the one thing a WAL exists to prevent.
+var ErrWALCorrupt = errors.New("gpssn: wal corrupt")
 
 // ErrInternal is matched (errors.Is) by the error a query returns when an
 // internal invariant was violated (a bug in this library, never the
@@ -48,6 +60,39 @@ func engineErr(err error) error {
 		return fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	return err
+}
+
+// WALError is the concrete error behind ErrWALCorrupt: why the log at
+// Path cannot bring the base state forward.
+type WALError struct {
+	// Path is the log file.
+	Path string
+	// Offset is the byte offset of the damage (0 when the failure is a
+	// base-state mismatch rather than file damage).
+	Offset int64
+	// LSN is the last usable LSN before the failure: the last intact
+	// record for mid-log damage, the base state's applied LSN for a
+	// mismatched log, the record being replayed for a replay failure.
+	LSN uint64
+	// Reason describes the failure.
+	Reason string
+}
+
+func (e *WALError) Error() string {
+	return fmt.Sprintf("gpssn: wal %s: at LSN %d (offset %d): %s", e.Path, e.LSN, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrWALCorrupt) match.
+func (e *WALError) Unwrap() error { return ErrWALCorrupt }
+
+// walErr lifts a wal package error into the public taxonomy: detected
+// mid-log corruption becomes a *WALError; I/O errors pass through.
+func walErr(err error) error {
+	var ce *wal.CorruptError
+	if errors.As(err, &ce) {
+		return &WALError{Path: ce.Path, Offset: ce.Offset, LSN: ce.LastLSN, Reason: ce.Reason}
+	}
+	return fmt.Errorf("gpssn: wal: %w", err)
 }
 
 // InternalError is the concrete error behind ErrInternal: a recovered

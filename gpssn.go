@@ -65,6 +65,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpssn/internal/core"
@@ -76,6 +77,7 @@ import (
 	"gpssn/internal/roadnet/ch"
 	"gpssn/internal/roadnet/hl"
 	"gpssn/internal/socialnet"
+	"gpssn/internal/wal"
 )
 
 // Metric selects the user-to-user interest similarity.
@@ -172,6 +174,38 @@ type Config struct {
 	// (budgeted queries, label oracles, shared-work engines), so this
 	// too exists for A/B measurement.
 	DisableSweepFold bool
+	// WALPath enables the write-ahead log: every successful dynamic update
+	// is appended (and fsynced per WALSync) to this file before it is
+	// applied, and Open/OpenSnapshot replay the surviving log so committed
+	// updates survive a crash between checkpoints. Empty (the default)
+	// means updates are in-memory only until the next Snapshot, as before.
+	// See docs/ROBUSTNESS.md §7 for the durability contract.
+	WALPath string
+	// WALSync selects when appends reach stable storage: "always" (the
+	// default — an acknowledged update survives an immediate crash),
+	// "batch" (group-commit: appends return after the OS write, a
+	// background flusher fsyncs once per WALFlushWindow, bounding loss to
+	// one window), or "none" (the OS decides; a crash may lose everything
+	// since the last checkpoint). BENCH_wal.json measures the cost of each.
+	WALSync string
+	// WALFlushWindow is the "batch" group-commit interval; default 2ms.
+	WALFlushWindow time.Duration
+	// WALAutoCheckpointBytes, when > 0, auto-checkpoints (Snapshot to
+	// CheckpointPath, then truncate the log) in the background once the
+	// log file outgrows this many bytes. 0 leaves checkpointing to
+	// explicit Snapshot calls.
+	WALAutoCheckpointBytes int64
+	// CheckpointPath is where auto-checkpoints and the serve drain
+	// checkpoint write their snapshot. Defaults to WALPath+".ckpt" when a
+	// WAL is configured. Reopen with OpenSnapshot(CheckpointPath, cfg) —
+	// the WAL pairs with its checkpoint, and Open refuses a log whose
+	// records start past the base state's applied LSN.
+	CheckpointPath string
+	// OverlayCompactPortals, when > 0, auto-runs the background Compact
+	// once the road delta-overlay's portal patch exceeds this many portals
+	// (the patch costs Portals² per composed distance, so this bounds the
+	// per-query overlay overhead). 0 leaves compaction to explicit calls.
+	OverlayCompactPortals int
 	// Logf, when set, receives diagnostic log lines (oracle fallbacks,
 	// snapshot-recovery notes). nil discards them; the same information is
 	// always available from Health().
@@ -227,6 +261,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DistanceOracle == "" {
 		c.DistanceOracle = d.DistanceOracle
+	}
+	if c.CheckpointPath == "" && c.WALPath != "" {
+		c.CheckpointPath = c.WALPath + ".ckpt"
 	}
 	return c
 }
@@ -334,6 +371,19 @@ type DB struct {
 	cfg    Config
 	cache  *answerCache
 	health Health
+
+	// wal is the attached write-ahead log (nil without Config.WALPath);
+	// appliedLSN is the newest record applied to the in-memory state, the
+	// LSN a checkpoint persists. Both are guarded by mu.
+	wal        *wal.Log
+	appliedLSN uint64
+
+	// maintTok serializes background auto-maintenance (maybeMaintain) and
+	// lets Close wait it out; maintaining mirrors it for observation;
+	// closed latches Close's idempotence.
+	maintTok    chan struct{}
+	maintaining atomic.Bool
+	closed      atomic.Bool
 
 	// BuildTime is how long index construction took. It is written by Open
 	// and Compact; read it only when no Compact can be running.
@@ -511,6 +561,14 @@ func Open(net *Network, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.health = health
+	// Attach the write-ahead log last: replay re-enters the regular
+	// update path, which needs the fully built engine. An existing log
+	// brings the network's state forward to the last surviving record.
+	if c.WALPath != "" {
+		if err := db.openWAL(c, 0); err != nil {
+			return nil, err
+		}
+	}
 	db.BuildTime = time.Since(start)
 	return db, nil
 }
@@ -552,7 +610,8 @@ func buildDB(net *Network, c Config) (*DB, error) {
 	})
 	return &DB{
 		net: net, engine: engine, cfg: c,
-		cache: newAnswerCache(c.CacheSize),
+		cache:    newAnswerCache(c.CacheSize),
+		maintTok: make(chan struct{}, 1),
 	}, nil
 }
 

@@ -74,6 +74,9 @@ type metricsSnapshot struct {
 	// True while a background Compact re-contraction is in flight.
 	Rebuilding bool `json:"rebuilding,omitempty"`
 
+	// Write-ahead-log state; omitted when the DB runs without a WAL.
+	WAL *walJSON `json:"wal,omitempty"`
+
 	// Memory accounting: engine-owned structures plus the Go heap.
 	// Always present.
 	Memory *memoryJSON `json:"memory,omitempty"`
@@ -103,6 +106,24 @@ type roadOverlayJSON struct {
 	NewEdges     int   `json:"new_edges"`
 	Portals      int   `json:"portals"`
 	Queries      int64 `json:"composed_queries_total"`
+}
+
+// walJSON mirrors gpssn.WALStats for /statsz: durability state under write
+// traffic. pending_records is the operator's headline — how many updates a
+// crash right now would force recovery to replay; it drops to zero at every
+// checkpoint. fsyncs_total versus appends_total shows the group-commit
+// batching win under -wal-sync batch.
+type walJSON struct {
+	Path             string `json:"path"`
+	Sync             string `json:"sync"`
+	StartLSN         uint64 `json:"start_lsn"`
+	LastLSN          uint64 `json:"last_lsn"`
+	AppliedLSN       uint64 `json:"applied_lsn"`
+	Pending          int64  `json:"pending_records"`
+	Bytes            int64  `json:"bytes"`
+	Appends          int64  `json:"appends_total"`
+	Fsyncs           int64  `json:"fsyncs_total"`
+	TornBytesDropped int64  `json:"torn_bytes_dropped"`
 }
 
 // sharedWorkJSON mirrors gpssn.SharedWorkStats for /statsz. HitRate is

@@ -278,6 +278,20 @@ func (s *Server) snapshot() metricsSnapshot {
 		}
 	}
 	snap.Rebuilding = s.db.Health().Rebuilding
+	if ws := s.db.WALStats(); ws.Enabled {
+		snap.WAL = &walJSON{
+			Path:             ws.Path,
+			Sync:             ws.Sync,
+			StartLSN:         ws.StartLSN,
+			LastLSN:          ws.LastLSN,
+			AppliedLSN:       ws.AppliedLSN,
+			Pending:          ws.Pending,
+			Bytes:            ws.Bytes,
+			Appends:          ws.Appends,
+			Fsyncs:           ws.Fsyncs,
+			TornBytesDropped: ws.TornBytesDropped,
+		}
+	}
 	ms := s.db.MemoryStats()
 	snap.Memory = &memoryJSON{
 		OracleBytes: ms.OracleBytes,

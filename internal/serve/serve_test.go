@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -563,5 +564,87 @@ func TestStatszRoadOverlay(t *testing.T) {
 	}
 	if m := statsz(); m["road_overlay"] != nil {
 		t.Fatalf("Compact should retire the road_overlay block: %s", m["road_overlay"])
+	}
+}
+
+// TestStatszWAL checks that /statsz surfaces the write-ahead-log block
+// exactly when a WAL is attached, and that its counters move with update
+// traffic and reset at a checkpoint.
+func TestStatszWAL(t *testing.T) {
+	dir := t.TempDir()
+	var cfg gpssn.Config
+	cfg.WALPath = filepath.Join(dir, "serve.wal")
+	db := testDB(t, cfg)
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	statsz := func() map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("/statsz status %d err %v", resp.StatusCode, err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("decoding /statsz: %v", err)
+		}
+		return m
+	}
+
+	m := statsz()
+	if m["wal"] == nil {
+		t.Fatal("/statsz missing wal block with a WAL attached")
+	}
+	var w walJSON
+	if err := json.Unmarshal(m["wal"], &w); err != nil {
+		t.Fatalf("decoding wal block: %v", err)
+	}
+	if w.Path != cfg.WALPath || w.Sync != "always" || w.Pending != 0 {
+		t.Fatalf("fresh wal block off: %+v", w)
+	}
+
+	if _, err := db.AddPOI(0.5, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(statsz()["wal"], &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending != 1 || w.LastLSN != 1 || w.AppliedLSN != 1 || w.Appends != 1 || w.Fsyncs < 1 {
+		t.Fatalf("wal block after one update off: %+v", w)
+	}
+
+	if err := db.Checkpoint(filepath.Join(dir, "serve.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(statsz()["wal"], &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending != 0 || w.StartLSN != 2 {
+		t.Fatalf("wal block after checkpoint off: %+v", w)
+	}
+
+	// No WAL attached: the block must be absent.
+	db2 := testDB(t, gpssn.Config{})
+	s2 := New(db2, Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m2 map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2["wal"] != nil {
+		t.Fatalf("WAL-less DB should surface no wal block: %s", m2["wal"])
 	}
 }

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"gpssn"
+	"gpssn/internal/bench"
+	"gpssn/internal/roadnet"
+)
+
+// This file is the `-exp walchurn` benchmark: what durability costs. It
+// replays one deterministic road/POI churn burst against four otherwise
+// identical DBs — no WAL, and a WAL under each fsync policy (none, batch,
+// always) — timing every facade mutation, then kills the sync-always DB
+// without Close and times the crash recovery (reopening the log against a
+// fresh base). The JSON report (BENCH_wal.json) guards the headlines:
+//
+//   - the WAL itself is cheap: sync=none sits near the no-WAL floor, the
+//     encode+append overhead is microseconds;
+//   - group commit works: sync=batch amortizes fsyncs (fsyncs << updates)
+//     and lands far below sync=always;
+//   - recovery is fast: replaying the whole burst takes milliseconds, not
+//     rebuild-the-index seconds.
+//
+// Like the other facade-driving experiments it lives in package serve
+// (internal/bench must not import gpssn); cmd/gpssn-bench registers it.
+
+// WALChurnExperiment returns the "walchurn" experiment for bench.Register.
+func WALChurnExperiment() bench.Experiment {
+	return bench.Experiment{
+		Name:        "walchurn",
+		Description: "WAL durability cost: update latency per fsync policy (off/none/batch/always) and crash-recovery time (JSON-capable)",
+		Run:         runWALChurn,
+	}
+}
+
+// walPolicyReport is one fsync regime's slice of BENCH_wal.json.
+type walPolicyReport struct {
+	Policy      string  `json:"policy"`
+	UpdateP50Us float64 `json:"update_p50_us"`
+	UpdateP99Us float64 `json:"update_p99_us"`
+	Fsyncs      int64   `json:"fsyncs_total"`
+	WALBytes    int64   `json:"wal_bytes"`
+	// OverheadP50 is this policy's update p50 over the no-WAL run's.
+	OverheadP50 float64 `json:"overhead_p50_vs_off"`
+}
+
+// walReport is the JSON payload written to RunConfig.JSONOut
+// (BENCH_wal.json).
+type walReport struct {
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Users      int     `json:"users"`
+	RoadVerts  int     `json:"road_vertices"`
+	Updates    int     `json:"updates_per_run"`
+
+	Policies []walPolicyReport `json:"policies"`
+
+	// Crash recovery: the sync=always DB is abandoned without Close and
+	// its log reopened against a fresh base. RecoveryMs is the replay's
+	// own cost — the WAL-attached Open minus a WAL-less Open of the same
+	// base (the index build, which a checkpoint would skip anyway).
+	RecoveredRecords uint64  `json:"recovered_records"`
+	RecoveredBytes   int64   `json:"recovered_bytes"`
+	BaseOpenMs       float64 `json:"base_open_ms"`
+	RecoveryMs       float64 `json:"recovery_ms"`
+	// RecoveryUsPerRecord = RecoveryMs*1000 / RecoveredRecords.
+	RecoveryUsPerRecord float64 `json:"recovery_us_per_record"`
+}
+
+func runWALChurn(w io.Writer, cfg bench.RunConfig) error {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.1
+	}
+	scaled := func(base int) int {
+		v := int(math.Round(float64(base) * cfg.Scale))
+		if v < 30 {
+			v = 30
+		}
+		return v
+	}
+	opts := gpssn.SyntheticOptions{
+		Name: "walchurn", Seed: cfg.Seed,
+		RoadVertices: scaled(30000), Users: scaled(20000), POIs: scaled(10000),
+	}
+	dir, err := os.MkdirTemp("", "gpssn-walchurn-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// One deterministic burst, replayed identically per regime: stitch a
+	// new intersection in, connect it, and drop a POI near it — three
+	// logged mutations per round.
+	burst := func(d *gpssn.DB, n *gpssn.Network) ([]float64, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + 2))
+		nVerts := n.NumIntersections()
+		nMut := 2 + nVerts/100
+		lat := make([]float64, 0, 3*nMut)
+		step := func(f func() error) error {
+			t0 := time.Now()
+			if err := f(); err != nil {
+				return err
+			}
+			lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+			return nil
+		}
+		for i := 0; i < nMut; i++ {
+			a := rng.Intn(nVerts)
+			at := n.Dataset().Road.Vertex(roadnet.VertexID(a))
+			var v int
+			if err := step(func() (e error) { v, e = d.AddRoadVertex(at.X+0.01, at.Y+0.02); return }); err != nil {
+				return nil, err
+			}
+			if err := step(func() (e error) { _, e = d.AddRoadEdge(a, v); return }); err != nil {
+				return nil, err
+			}
+			if err := step(func() (e error) { _, e = d.AddPOI(at.X+0.02, at.Y+0.01, i%3); return }); err != nil {
+				return nil, err
+			}
+		}
+		sort.Float64s(lat)
+		return lat, nil
+	}
+	p := func(s []float64, q float64) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		return s[int(q*float64(len(s)-1))]
+	}
+
+	policies := []string{"off", "none", "batch", "always"}
+	rpt := walReport{
+		Scale: cfg.Scale, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var alwaysWAL string
+	for _, pol := range policies {
+		netw, err := gpssn.GenerateSynthetic(opts)
+		if err != nil {
+			return err
+		}
+		dcfg := gpssn.Config{Seed: cfg.Seed}
+		if pol != "off" {
+			dcfg.WALPath = filepath.Join(dir, pol+".wal")
+			dcfg.WALSync = pol
+		}
+		db, err := gpssn.Open(netw, dcfg)
+		if err != nil {
+			return err
+		}
+		rpt.Users, rpt.RoadVerts = netw.NumUsers(), netw.NumIntersections()
+		lat, err := burst(db, netw)
+		if err != nil {
+			return err
+		}
+		rpt.Updates = len(lat)
+		pr := walPolicyReport{
+			Policy:      pol,
+			UpdateP50Us: p(lat, 0.50),
+			UpdateP99Us: p(lat, 0.99),
+		}
+		if st := db.WALStats(); st.Enabled {
+			pr.Fsyncs, pr.WALBytes = st.Fsyncs, st.Bytes
+		}
+		if base := rpt.Policies; len(base) > 0 && base[0].UpdateP50Us > 0 {
+			pr.OverheadP50 = pr.UpdateP50Us / base[0].UpdateP50Us
+		}
+		rpt.Policies = append(rpt.Policies, pr)
+		if pol == "always" {
+			// Crash: walk away without Close. The log holds every update.
+			alwaysWAL = dcfg.WALPath
+		} else {
+			if err := db.Close(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Recovery: a fresh base (identical dataset, indexes rebuilt) plus the
+	// crashed log. A WAL-less Open of the same base is timed first and
+	// subtracted, so RecoveryMs isolates the replay from the index build.
+	preNet, err := gpssn.GenerateSynthetic(opts)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if _, err := gpssn.Open(preNet, gpssn.Config{Seed: cfg.Seed}); err != nil {
+		return err
+	}
+	baseMs := float64(time.Since(t0).Microseconds()) / 1000
+	recNet, err := gpssn.GenerateSynthetic(opts)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	rec, err := gpssn.Open(recNet, gpssn.Config{Seed: cfg.Seed, WALPath: alwaysWAL})
+	if err != nil {
+		return fmt.Errorf("walchurn: recovery: %w", err)
+	}
+	openMs := float64(time.Since(t0).Microseconds()) / 1000
+	st := rec.WALStats()
+	rpt.RecoveredRecords = st.AppliedLSN
+	rpt.RecoveredBytes = st.Bytes
+	rpt.BaseOpenMs = baseMs
+	rpt.RecoveryMs = math.Max(0, openMs-baseMs)
+	if st.AppliedLSN > 0 {
+		rpt.RecoveryUsPerRecord = rpt.RecoveryMs * 1000 / float64(st.AppliedLSN)
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "# WAL durability cost: %d updates/run over %d road vertices (GOMAXPROCS=%d)\n",
+		rpt.Updates, rpt.RoadVerts, rpt.GOMAXPROCS)
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %10s\n", "policy", "p50", "p99", "fsyncs", "bytes", "vs off")
+	for _, pr := range rpt.Policies {
+		ratio := "-"
+		if pr.OverheadP50 > 0 {
+			ratio = fmt.Sprintf("%.2fx", pr.OverheadP50)
+		}
+		fmt.Fprintf(w, "%-10s %10.1fµs %10.1fµs %10d %10d %10s\n",
+			pr.Policy, pr.UpdateP50Us, pr.UpdateP99Us, pr.Fsyncs, pr.WALBytes, ratio)
+	}
+	fmt.Fprintf(w, "crash recovery: %d records (%d bytes) replayed in %.1fms (%.1fµs/record; base open %.1fms excluded)\n",
+		rpt.RecoveredRecords, rpt.RecoveredBytes, rpt.RecoveryMs, rpt.RecoveryUsPerRecord, rpt.BaseOpenMs)
+	fmt.Fprintln(w, "# recovered answers are gated bit-identical to a never-crashed twin by TestWALCrashMatrix")
+
+	if cfg.JSONOut != "" {
+		b, err := json.MarshalIndent(rpt, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# JSON report written to %s\n", cfg.JSONOut)
+	}
+	return nil
+}

@@ -1,0 +1,646 @@
+// Package wal implements the write-ahead log that makes dynamic updates
+// durable (docs/ROBUSTNESS.md §7). A log is a single append-only file: a
+// versioned magic header carrying the LSN the file starts at, followed by
+// length-prefixed records, each framed as
+//
+//	u32 body length | body | u64 CRC64-ECMA(body)
+//	body = u64 LSN | u8 kind | payload
+//
+// LSNs are assigned monotonically (+1 per record, never reused, never
+// reset — a checkpoint truncates the file but the numbering continues), so
+// replay after an interrupted checkpoint can skip records the checkpoint
+// already made durable by comparing LSNs instead of guessing.
+//
+// Recovery is torn-tail tolerant: a record cut short by a crash mid-write
+// — a partial frame at the end of the file — is discarded and the file is
+// physically truncated back to the last intact record, exactly what a
+// half-written page deserves. Damage *before* the tail (a CRC mismatch or
+// an LSN discontinuity followed by more data) cannot be explained by a
+// torn write and is reported as a typed *CorruptError instead: silently
+// dropping the suffix would silently drop acknowledged updates.
+//
+// Appends honour a configurable fsync policy: SyncAlways fsyncs before
+// every append returns (an acknowledged update survives an immediate
+// crash), SyncBatch group-commits — appends return after the OS write and
+// a background flusher fsyncs at most once per FlushWindow, bounding loss
+// to one window — and SyncNone leaves persistence to the OS entirely.
+//
+// The failpoint sites "wal.append", "wal.sync" and "wal.truncate" let the
+// crash-matrix tests inject I/O errors, torn frames and bit flips through
+// the real write path.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpssn/internal/failpoint"
+)
+
+// Magic identifies a GP-SSN write-ahead log file; the last byte is the
+// format version.
+var Magic = [8]byte{'G', 'P', 'S', 'S', 'W', 'A', 'L', 1}
+
+// headerLen is the fixed file header: magic plus the u64 start LSN.
+const headerLen = 16
+
+// MaxRecordLen bounds one record body (64 MiB). A declared length beyond
+// it cannot come from this writer, so it is treated as frame damage rather
+// than driving a giant allocation.
+const MaxRecordLen = 1 << 26
+
+// minBodyLen is the smallest legal body: LSN + kind, empty payload.
+const minBodyLen = 9
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Kind identifies which facade mutation a record replays. Values are part
+// of the on-disk format; never renumber.
+type Kind uint8
+
+const (
+	// KindAddPOI replays DB.AddPOI: x, y, keywords.
+	KindAddPOI Kind = 1 + iota
+	// KindAddUser replays DB.AddUser: x, y, interests.
+	KindAddUser
+	// KindAddFriendship replays DB.AddFriendship: a, b.
+	KindAddFriendship
+	// KindAddRoadVertex replays DB.AddRoadVertex: x, y.
+	KindAddRoadVertex
+	// KindAddRoadEdge replays DB.AddRoadEdge: u, v.
+	KindAddRoadEdge
+
+	kindEnd
+)
+
+// Valid reports whether k is a known record kind.
+func (k Kind) Valid() bool { return k >= KindAddPOI && k < kindEnd }
+
+func (k Kind) String() string {
+	switch k {
+	case KindAddPOI:
+		return "AddPOI"
+	case KindAddUser:
+		return "AddUser"
+	case KindAddFriendship:
+		return "AddFriendship"
+	case KindAddRoadVertex:
+		return "AddRoadVertex"
+	case KindAddRoadEdge:
+		return "AddRoadEdge"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Append returns: an acknowledged
+	// update survives an immediate crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch group-commits: Append returns after the OS write and a
+	// background flusher fsyncs at most once per FlushWindow. A crash
+	// loses at most one window of acknowledged updates.
+	SyncBatch
+	// SyncNone never fsyncs; the OS persists pages at its leisure. A
+	// crash may lose everything since the last checkpoint.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncNone:
+		return "none"
+	}
+	return "always"
+}
+
+// ParseSyncPolicy maps the flag/config spelling onto a policy; the empty
+// string means SyncAlways.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want \"always\", \"batch\" or \"none\")", s)
+}
+
+// ErrCorrupt is matched (errors.Is) by every *CorruptError.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+// CorruptError reports mid-log damage recovery cannot repair: a record
+// before the tail whose checksum, length, kind, or LSN sequence is wrong.
+// (Tail damage — a torn final frame — is repaired by truncation and never
+// surfaces as an error.)
+type CorruptError struct {
+	// Path is the log file.
+	Path string
+	// Offset is the byte offset of the damaged frame.
+	Offset int64
+	// LastLSN is the last intact record's LSN before the damage.
+	LastLSN uint64
+	// Reason describes the detected damage.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s: offset %d (after LSN %d): %s", e.Path, e.Offset, e.LastLSN, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Record is one decoded update.
+type Record struct {
+	LSN     uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Sync is the fsync policy; zero value SyncAlways.
+	Sync SyncPolicy
+	// FlushWindow is the SyncBatch group-commit interval; default 2ms.
+	FlushWindow time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushWindow <= 0 {
+		o.FlushWindow = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Log is an open write-ahead log. Append/Sync/Checkpoint/Stats are safe
+// for concurrent use, though the facade additionally serializes appends
+// under its update lock so LSN order matches apply order.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	opt      Options
+	startLSN uint64 // first LSN this file holds (header)
+	nextLSN  uint64
+	size     int64 // append offset: header + intact records
+	lastSize int64 // append offset before the most recent record (Rollback)
+	records  int64
+	dirty    bool  // bytes written since the last fsync
+	torn     int64 // bytes dropped by tail truncation at Open
+	err      error // sticky: a torn append poisons the log like a crash
+
+	fsyncs  atomic.Int64
+	appends atomic.Int64
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+	closed    bool
+}
+
+// Stats is an observable snapshot of a Log, surfaced through DB.WALStats
+// and the serve /statsz endpoint.
+type Stats struct {
+	Path string
+	// Sync is the fsync policy as configured ("always", "batch", "none").
+	Sync string
+	// StartLSN is the first LSN this file holds; LastLSN the most recent
+	// appended (0 = none ever). Pending records = LastLSN-StartLSN+1.
+	StartLSN, LastLSN uint64
+	// Records and Bytes describe the file since the last checkpoint.
+	Records, Bytes int64
+	// Appends and Fsyncs are lifetime counters for this process.
+	Appends, Fsyncs int64
+	// TornBytesDropped is how many trailing bytes Open discarded as a
+	// torn tail (0 = the file ended cleanly).
+	TornBytesDropped int64
+}
+
+// Open opens (or creates) the log at path and scans every intact record.
+// A torn tail is physically truncated away — the scan result is exactly
+// what later appends will follow — while mid-log damage fails with a
+// *CorruptError. createStart is the LSN a freshly created file begins at
+// (appliedLSN+1 of the base state the log pairs with); it is ignored when
+// the file already holds a valid header.
+func Open(path string, createStart uint64, opt Options) (*Log, []Record, error) {
+	opt = opt.withDefaults()
+	if createStart == 0 {
+		createStart = 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, opt: opt}
+	recs, err := l.scan(createStart)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if opt.Sync == SyncBatch {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, recs, nil
+}
+
+// scan validates the header (initialising a fresh or torn-header file),
+// decodes every intact record, and truncates a torn tail.
+func (l *Log) scan(createStart uint64) ([]Record, error) {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("wal: stat %s: %w", l.path, err)
+	}
+	fsize := fi.Size()
+	if fsize < headerLen {
+		// Empty file, or a crash mid-creation tore the header before any
+		// record could exist (the header is fsynced before the first
+		// append). Either way: (re)initialise.
+		return nil, l.writeHeader(createStart)
+	}
+	head := make([]byte, headerLen)
+	if _, err := l.f.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("wal: read header %s: %w", l.path, err)
+	}
+	if [8]byte(head[:8]) != Magic {
+		if string(head[:7]) == string(Magic[:7]) {
+			return nil, &CorruptError{Path: l.path, Offset: 0, Reason: fmt.Sprintf("version %d, want %d", head[7], Magic[7])}
+		}
+		return nil, &CorruptError{Path: l.path, Offset: 0, Reason: fmt.Sprintf("bad magic %q", head[:8])}
+	}
+	l.startLSN = binary.LittleEndian.Uint64(head[8:])
+	if l.startLSN == 0 {
+		return nil, &CorruptError{Path: l.path, Offset: 0, Reason: "start LSN 0"}
+	}
+	l.nextLSN = l.startLSN
+
+	body, err := io.ReadAll(io.NewSectionReader(l.f, headerLen, fsize-headerLen))
+	if err != nil {
+		return nil, fmt.Errorf("wal: read %s: %w", l.path, err)
+	}
+	var recs []Record
+	off := 0
+	for off < len(body) {
+		frameStart := int64(headerLen + off)
+		rec, n, ok, cerr := l.decodeFrame(body[off:], frameStart)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if !ok {
+			// Torn tail: drop it on the floor and truncate the file so the
+			// next append lands right after the last intact record.
+			l.torn = fsize - frameStart
+			if err := l.f.Truncate(frameStart); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
+			}
+			if err := l.f.Sync(); err != nil {
+				return nil, fmt.Errorf("wal: sync %s: %w", l.path, err)
+			}
+			break
+		}
+		recs = append(recs, rec)
+		l.nextLSN = rec.LSN + 1
+		off += n
+	}
+	l.records = int64(len(recs))
+	l.size = fsize - l.torn
+	l.lastSize = l.size
+	return recs, nil
+}
+
+// decodeFrame decodes one frame at the start of b (which begins at file
+// offset frameStart). ok=false means the frame is a torn tail — the bytes
+// cannot hold an intact frame and nothing follows them. A complete frame
+// that fails validation with more data after it is mid-log corruption.
+func (l *Log) decodeFrame(b []byte, frameStart int64) (rec Record, n int, ok bool, err error) {
+	lastLSN := l.nextLSN - 1
+	corrupt := func(reason string) (Record, int, bool, error) {
+		return Record{}, 0, false, &CorruptError{Path: l.path, Offset: frameStart, LastLSN: lastLSN, Reason: reason}
+	}
+	if len(b) < 4 {
+		return Record{}, 0, false, nil // torn length prefix
+	}
+	blen := binary.LittleEndian.Uint32(b)
+	if blen < minBodyLen || blen > MaxRecordLen {
+		// An implausible length cannot be parsed past. If it is the last
+		// frame it is indistinguishable from a torn write of the length
+		// prefix itself; damage with a full frame's worth of data after
+		// the prefix is corruption.
+		if len(b) < int(4+blen)+8 || blen > MaxRecordLen {
+			return Record{}, 0, false, nil
+		}
+		return corrupt(fmt.Sprintf("implausible record length %d", blen))
+	}
+	if len(b) < int(4+blen)+8 {
+		return Record{}, 0, false, nil // torn body or checksum
+	}
+	body := b[4 : 4+blen]
+	sum := binary.LittleEndian.Uint64(b[4+blen:])
+	if crc64.Checksum(body, crcTable) != sum {
+		if len(b) == int(4+blen)+8 {
+			// The final frame: a bit flipped in flight and a torn rewrite
+			// look the same from here, and dropping the unacknowledgeable
+			// tail record is the recovery both deserve.
+			return Record{}, 0, false, nil
+		}
+		return corrupt("checksum mismatch before the tail")
+	}
+	lsn := binary.LittleEndian.Uint64(body)
+	kind := Kind(body[8])
+	if lsn != l.nextLSN {
+		return corrupt(fmt.Sprintf("LSN %d, want %d (sequence broken)", lsn, l.nextLSN))
+	}
+	if !kind.Valid() {
+		return corrupt(fmt.Sprintf("unknown record kind %d", kind))
+	}
+	rec = Record{LSN: lsn, Kind: kind, Payload: append([]byte(nil), body[9:]...)}
+	return rec, int(4+blen) + 8, true, nil
+}
+
+// writeHeader (re)initialises the file to an empty log starting at start.
+// The header is always fsynced — whatever the append policy — so a torn
+// header can only mean no record was ever appended.
+func (l *Log) writeHeader(start uint64) error {
+	var head [headerLen]byte
+	copy(head[:8], Magic[:])
+	binary.LittleEndian.PutUint64(head[8:], start)
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: init %s: %w", l.path, err)
+	}
+	if _, err := l.f.WriteAt(head[:], 0); err != nil {
+		return fmt.Errorf("wal: init %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: init %s: %w", l.path, err)
+	}
+	l.startLSN = start
+	l.nextLSN = start
+	l.size = headerLen
+	l.lastSize = headerLen
+	l.records = 0
+	l.dirty = false
+	return nil
+}
+
+// Append frames one record, writes it at the end of the log, and applies
+// the sync policy. It returns the record's LSN. The failpoint site
+// "wal.append" can inject an error (nothing written), a torn frame (the
+// first N bytes hit the disk and the log is poisoned, as a crash would),
+// or a bit flip (the frame is silently corrupted on disk; the checksum
+// still describes the intended body, so recovery detects it).
+func (l *Log) Append(kind Kind, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: %s: appending to a closed log", l.path)
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if len(payload) > MaxRecordLen-minBodyLen {
+		return 0, fmt.Errorf("wal: %s: record payload %d exceeds limit", l.path, len(payload))
+	}
+	lsn := l.nextLSN
+	body := make([]byte, minBodyLen+len(payload))
+	binary.LittleEndian.PutUint64(body, lsn)
+	body[8] = byte(kind)
+	copy(body[9:], payload)
+	sum := crc64.Checksum(body, crcTable)
+
+	frame := make([]byte, 0, 4+len(body)+8)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	frame = binary.LittleEndian.AppendUint64(frame, sum)
+
+	if f, ok := failpoint.Eval("wal.append"); ok {
+		switch f.Mode {
+		case failpoint.ModeError:
+			return 0, fmt.Errorf("wal: %s: append: %w", l.path, f.Err)
+		case failpoint.ModeShortWrite:
+			n := f.N
+			if n > len(frame) {
+				n = len(frame)
+			}
+			l.f.WriteAt(frame[:n], l.size)
+			l.f.Sync()
+			l.err = fmt.Errorf("wal: %s: torn append (injected crash); log unusable until reopened", l.path)
+			return 0, l.err
+		case failpoint.ModeBitFlip:
+			off := f.N % (len(body) * 8)
+			frame[4+off/8] ^= 1 << (off % 8)
+		}
+	}
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		l.err = fmt.Errorf("wal: %s: append: %w", l.path, err)
+		return 0, l.err
+	}
+	l.lastSize = l.size
+	l.size += int64(len(frame))
+	l.records++
+	l.nextLSN = lsn + 1
+	l.appends.Add(1)
+
+	switch l.opt.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			// The append is being reported failed, but its frame already
+			// hit the OS write path: unwrite it (best effort) so recovery
+			// cannot replay a mutation the caller saw rejected. Either
+			// way the log is poisoned — an fsync failure means the device
+			// is lying and only a reopen re-establishes what is on disk.
+			if terr := l.f.Truncate(l.lastSize); terr == nil {
+				l.size = l.lastSize
+				l.records--
+				l.nextLSN = lsn
+			}
+			l.err = err
+			return 0, err
+		}
+	case SyncBatch:
+		l.dirty = true
+	}
+	return lsn, nil
+}
+
+// Rollback undoes the most recent append — and only that one — by
+// truncating the file back to the frame's start. The facade uses it when
+// an apply step fails after its record was already framed, so the log
+// never replays a mutation the live DB rejected. lsn must be the LSN
+// Append just returned.
+func (l *Log) Rollback(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if lsn != l.nextLSN-1 || l.lastSize >= l.size {
+		return fmt.Errorf("wal: %s: rollback of LSN %d is not the most recent append", l.path, lsn)
+	}
+	if err := l.f.Truncate(l.lastSize); err != nil {
+		l.err = fmt.Errorf("wal: %s: rollback: %w", l.path, err)
+		return l.err
+	}
+	l.size = l.lastSize
+	l.records--
+	l.nextLSN = lsn
+	if l.opt.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync forces everything appended so far onto stable storage, whatever
+// the policy. The failpoint site "wal.sync" can inject an fsync failure.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := failpoint.Error("wal.sync"); err != nil {
+		return fmt.Errorf("wal: %s: sync: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: sync: %w", l.path, err)
+	}
+	l.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// Checkpoint truncates the log after a checkpoint made every record with
+// LSN <= applied durable elsewhere: the file is reset to an empty log
+// whose header starts at applied+1. Safe against a crash at any point —
+// a surviving pre-truncation file replays records the checkpoint already
+// holds, and the replayer skips them by LSN; a torn header reinitialises.
+// The failpoint site "wal.truncate" can inject a failure before the
+// truncation, leaving the pre-checkpoint log intact.
+func (l *Log) Checkpoint(applied uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: %s: checkpointing a closed log", l.path)
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if applied+1 < l.nextLSN {
+		return fmt.Errorf("wal: %s: checkpoint at LSN %d would drop unapplied records (next LSN %d)", l.path, applied, l.nextLSN)
+	}
+	if err := failpoint.Error("wal.truncate"); err != nil {
+		return fmt.Errorf("wal: %s: checkpoint: %w", l.path, err)
+	}
+	if err := l.writeHeader(applied + 1); err != nil {
+		l.err = err
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// StartLSN returns the first LSN this file holds.
+func (l *Log) StartLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.startLSN
+}
+
+// LastLSN returns the most recently appended LSN (StartLSN-1 when the
+// file holds no records).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Size returns the current file size in bytes (header included).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Path:             l.path,
+		Sync:             l.opt.Sync.String(),
+		StartLSN:         l.startLSN,
+		LastLSN:          l.nextLSN - 1,
+		Records:          l.records,
+		Bytes:            l.size,
+		Appends:          l.appends.Load(),
+		Fsyncs:           l.fsyncs.Load(),
+		TornBytesDropped: l.torn,
+	}
+}
+
+// Close stops the batch flusher, syncs outstanding bytes (unless the
+// policy is SyncNone), and closes the file. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.opt.Sync != SyncNone && l.err == nil && l.dirty {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close %s: %w", l.path, cerr)
+	}
+	return err
+}
+
+// flusher is the SyncBatch group-commit loop: at most one fsync per
+// FlushWindow, and only when something was appended since the last one.
+func (l *Log) flusher() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opt.FlushWindow)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.err == nil && l.dirty {
+				l.syncLocked() // best effort; Append surfaces sticky errors
+			}
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpssn/internal/failpoint"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func mustOpen(t *testing.T, path string, start uint64, opt Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, start, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(KindAddPOI, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, recs := mustOpen(t, path, 0, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	kinds := []Kind{KindAddPOI, KindAddUser, KindAddFriendship, KindAddRoadVertex, KindAddRoadEdge}
+	for i, k := range kinds {
+		lsn, err := l.Append(k, []byte{byte(i), 0xff, byte(i)})
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("LSN %d, want %d", lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, recs := mustOpen(t, path, 0, Options{})
+	if len(recs) != len(kinds) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(kinds))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Kind != kinds[i] {
+			t.Fatalf("record %d = {LSN %d, %s}, want {%d, %s}", i, r.LSN, r.Kind, i+1, kinds[i])
+		}
+		want := []byte{byte(i), 0xff, byte(i)}
+		if string(r.Payload) != string(want) {
+			t.Fatalf("record %d payload %v, want %v", i, r.Payload, want)
+		}
+	}
+	if got := l2.LastLSN(); got != uint64(len(kinds)) {
+		t.Fatalf("LastLSN %d, want %d", got, len(kinds))
+	}
+}
+
+func TestWALEmptyPayloadAndContinuedLSN(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, 41, Options{})
+	lsn, err := l.Append(KindAddRoadVertex, nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if lsn != 41 {
+		t.Fatalf("first LSN %d, want createStart 41", lsn)
+	}
+	l.Close()
+	_, recs := mustOpen(t, path, 999, Options{}) // createStart ignored: file exists
+	if len(recs) != 1 || recs[0].LSN != 41 || len(recs[0].Payload) != 0 {
+		t.Fatalf("bad replay: %+v", recs)
+	}
+}
+
+// Torn tails — a frame cut anywhere, including mid-length-prefix — are
+// truncated away, and the file is physically repaired so later appends
+// continue from the intact prefix.
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 3, 4, 9, 12, 20} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			path := tmpLog(t)
+			l, _ := mustOpen(t, path, 0, Options{})
+			appendN(t, l, 3)
+			fullSize := l.Size()
+			appendN(t, l, 1)
+			l.Close()
+
+			// Tear the final frame: keep `cut` bytes of it.
+			if err := os.Truncate(path, fullSize+int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			l2, recs := mustOpen(t, path, 0, Options{})
+			if len(recs) != 3 {
+				t.Fatalf("replayed %d records, want 3", len(recs))
+			}
+			if st := l2.Stats(); st.TornBytesDropped != int64(cut) {
+				t.Fatalf("TornBytesDropped %d, want %d", st.TornBytesDropped, cut)
+			}
+			if l2.Size() != fullSize {
+				t.Fatalf("file not repaired: size %d, want %d", l2.Size(), fullSize)
+			}
+			// Appends continue cleanly after the repair.
+			lsn, err := l2.Append(KindAddUser, []byte("post-repair"))
+			if err != nil {
+				t.Fatalf("post-repair Append: %v", err)
+			}
+			if lsn != 4 {
+				t.Fatalf("post-repair LSN %d, want 4 (torn record's number reused)", lsn)
+			}
+			l2.Close()
+			_, recs = mustOpen(t, path, 0, Options{})
+			if len(recs) != 4 || string(recs[3].Payload) != "post-repair" {
+				t.Fatalf("bad final replay: %d records", len(recs))
+			}
+		})
+	}
+}
+
+// A flipped bit in the final record is indistinguishable from a torn
+// rewrite: recovery drops that record and repairs the file.
+func TestWALBitFlipTailDropped(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, 0, Options{})
+	appendN(t, l, 2)
+	prevSize := l.Size()
+	appendN(t, l, 1)
+	l.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[prevSize+7] ^= 0x10 // inside the last frame's body
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := mustOpen(t, path, 0, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (flipped tail dropped)", len(recs))
+	}
+}
+
+// Damage before the tail cannot be a torn write; recovery must refuse
+// with a typed *CorruptError instead of silently dropping later records.
+func TestWALMidLogCorruptionTyped(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, 0, Options{})
+	var offsets []int64
+	for i := 0; i < 4; i++ {
+		offsets = append(offsets, l.Size())
+		appendN(t, l, 1)
+	}
+	l.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[1]+9] ^= 0x01 // record 2's body: mid-log, not the tail
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(path, 0, Options{})
+	if err == nil {
+		t.Fatal("Open accepted mid-log corruption")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not match ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not *CorruptError", err)
+	}
+	if ce.Offset != offsets[1] || ce.LastLSN != 1 {
+		t.Fatalf("CorruptError at offset %d after LSN %d, want offset %d after LSN 1", ce.Offset, ce.LastLSN, offsets[1])
+	}
+}
+
+// An LSN discontinuity (a deleted or duplicated record) is corruption
+// even when every checksum passes.
+func TestWALLSNGapCorrupt(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, 0, Options{})
+	var offsets []int64
+	for i := 0; i < 3; i++ {
+		offsets = append(offsets, l.Size())
+		appendN(t, l, 1)
+	}
+	end := l.Size()
+	l.Close()
+
+	raw, _ := os.ReadFile(path)
+	// Excise record 2 wholesale: records 1 and 3 remain, both intact.
+	spliced := append(append([]byte(nil), raw[:offsets[1]]...), raw[offsets[2]:end]...)
+	if err := os.WriteFile(path, spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path, 0, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LSN gap: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALBadMagicAndVersion(t *testing.T) {
+	path := tmpLog(t)
+	if err := os.WriteFile(path, []byte("NOTAWALFILE!!!!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, 0, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+
+	head := make([]byte, headerLen)
+	copy(head, Magic[:])
+	head[7] = 99 // future version
+	binary.LittleEndian.PutUint64(head[8:], 1)
+	if err := os.WriteFile(path, head, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, 0, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version skew: got %v, want ErrCorrupt", err)
+	}
+}
+
+// A header shorter than headerLen means a crash during creation, before
+// any record could have been durable: reinitialise, don't fail.
+func TestWALTornHeaderReinitialises(t *testing.T) {
+	path := tmpLog(t)
+	if err := os.WriteFile(path, Magic[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := mustOpen(t, path, 7, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("%d records from a torn header", len(recs))
+	}
+	if lsn, err := l.Append(KindAddPOI, nil); err != nil || lsn != 7 {
+		t.Fatalf("Append after reinit: lsn %d err %v, want 7 nil", lsn, err)
+	}
+}
+
+func TestWALCheckpointTruncatesAndContinuesLSN(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, 0, Options{})
+	appendN(t, l, 5)
+	if err := l.Checkpoint(5); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := l.Stats()
+	if st.Records != 0 || st.Bytes != headerLen || st.StartLSN != 6 {
+		t.Fatalf("post-checkpoint stats %+v", st)
+	}
+	lsn, err := l.Append(KindAddUser, nil)
+	if err != nil || lsn != 6 {
+		t.Fatalf("post-checkpoint Append: lsn %d err %v, want 6 nil", lsn, err)
+	}
+	l.Close()
+	l2, recs := mustOpen(t, path, 0, Options{})
+	if len(recs) != 1 || recs[0].LSN != 6 {
+		t.Fatalf("replay after checkpoint: %+v", recs)
+	}
+	// Checkpointing below the appended range must refuse: it would drop
+	// records no checkpoint holds.
+	if err := l2.Checkpoint(3); err == nil {
+		t.Fatal("Checkpoint(3) below LastLSN 6 accepted")
+	}
+}
+
+func TestWALRollback(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, 0, Options{})
+	appendN(t, l, 2)
+	lsn, err := l.Append(KindAddRoadEdge, []byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rollback(lsn); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if got := l.LastLSN(); got != 2 {
+		t.Fatalf("LastLSN after rollback %d, want 2", got)
+	}
+	// The rolled-back LSN is reused by the next append.
+	lsn2, err := l.Append(KindAddPOI, []byte("kept"))
+	if err != nil || lsn2 != lsn {
+		t.Fatalf("Append after rollback: lsn %d err %v, want %d nil", lsn2, err, lsn)
+	}
+	// Only the most recent append may roll back.
+	if err := l.Rollback(1); err == nil {
+		t.Fatal("Rollback of an older LSN accepted")
+	}
+	l.Close()
+	_, recs := mustOpen(t, path, 0, Options{})
+	if len(recs) != 3 || string(recs[2].Payload) != "kept" {
+		t.Fatalf("replay after rollback: %d records", len(recs))
+	}
+}
+
+func TestWALSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		l, _ := mustOpen(t, tmpLog(t), 0, Options{Sync: SyncAlways})
+		base := l.Stats().Fsyncs
+		appendN(t, l, 3)
+		if got := l.Stats().Fsyncs - base; got != 3 {
+			t.Fatalf("always: %d fsyncs for 3 appends, want 3", got)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		l, _ := mustOpen(t, tmpLog(t), 0, Options{Sync: SyncNone})
+		base := l.Stats().Fsyncs
+		appendN(t, l, 3)
+		if got := l.Stats().Fsyncs - base; got != 0 {
+			t.Fatalf("none: %d fsyncs for 3 appends, want 0", got)
+		}
+	})
+	t.Run("batch", func(t *testing.T) {
+		l, _ := mustOpen(t, tmpLog(t), 0, Options{Sync: SyncBatch, FlushWindow: 5 * time.Millisecond})
+		base := l.Stats().Fsyncs
+		appendN(t, l, 10)
+		deadline := time.Now().Add(2 * time.Second)
+		for l.Stats().Fsyncs == base && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		got := l.Stats().Fsyncs - base
+		if got == 0 {
+			t.Fatal("batch: flusher never synced")
+		}
+		if got > 5 {
+			t.Fatalf("batch: %d fsyncs for 10 appends in one window burst — not group-committing", got)
+		}
+	})
+}
+
+func TestWALParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"": SyncAlways, "always": SyncAlways, "batch": SyncBatch, "none": SyncNone} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// Failpoint-driven faults through the real write path.
+func TestWALFailpoints(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+
+	t.Run("append-error", func(t *testing.T) {
+		l, _ := mustOpen(t, tmpLog(t), 0, Options{})
+		failpoint.Arm("wal.append", failpoint.Failure{Mode: failpoint.ModeError, Err: errors.New("disk full"), Count: 1})
+		if _, err := l.Append(KindAddPOI, []byte("x")); err == nil {
+			t.Fatal("injected append error not surfaced")
+		}
+		// Nothing written: the next append succeeds with the same LSN.
+		if lsn, err := l.Append(KindAddPOI, []byte("x")); err != nil || lsn != 1 {
+			t.Fatalf("append after injected error: lsn %d err %v", lsn, err)
+		}
+	})
+
+	t.Run("short-write-poisons", func(t *testing.T) {
+		path := tmpLog(t)
+		l, _ := mustOpen(t, path, 0, Options{})
+		appendN(t, l, 2)
+		failpoint.Arm("wal.append", failpoint.Failure{Mode: failpoint.ModeShortWrite, N: 6, Count: 1})
+		if _, err := l.Append(KindAddUser, []byte("torn")); err == nil {
+			t.Fatal("torn append reported success")
+		}
+		// The log is poisoned like a crashed process's would be.
+		if _, err := l.Append(KindAddUser, []byte("after")); err == nil {
+			t.Fatal("append after torn write accepted")
+		}
+		l.Close()
+		// Recovery sees a torn tail: the two intact records survive.
+		_, recs := mustOpen(t, path, 0, Options{})
+		if len(recs) != 2 {
+			t.Fatalf("replayed %d records after torn append, want 2", len(recs))
+		}
+	})
+
+	t.Run("bit-flip-detected-on-replay", func(t *testing.T) {
+		path := tmpLog(t)
+		l, _ := mustOpen(t, path, 0, Options{})
+		appendN(t, l, 1)
+		failpoint.Arm("wal.append", failpoint.Failure{Mode: failpoint.ModeBitFlip, N: 13, Count: 1})
+		if _, err := l.Append(KindAddUser, []byte("flipped")); err != nil {
+			t.Fatalf("bit-flip append should succeed silently: %v", err)
+		}
+		l.Close()
+		// The flipped record is the tail: dropped, not fatal.
+		_, recs := mustOpen(t, path, 0, Options{})
+		if len(recs) != 1 {
+			t.Fatalf("replayed %d records, want 1 (flipped tail dropped)", len(recs))
+		}
+	})
+
+	t.Run("sync-error", func(t *testing.T) {
+		l, _ := mustOpen(t, tmpLog(t), 0, Options{Sync: SyncAlways})
+		failpoint.Arm("wal.sync", failpoint.Failure{Mode: failpoint.ModeError, Err: errors.New("EIO"), Count: 1})
+		if _, err := l.Append(KindAddPOI, []byte("x")); err == nil {
+			t.Fatal("injected fsync error not surfaced")
+		}
+	})
+
+	t.Run("truncate-error", func(t *testing.T) {
+		l, _ := mustOpen(t, tmpLog(t), 0, Options{})
+		appendN(t, l, 1)
+		failpoint.Arm("wal.truncate", failpoint.Failure{Mode: failpoint.ModeError, Err: errors.New("EIO"), Count: 1})
+		if err := l.Checkpoint(1); err == nil {
+			t.Fatal("injected truncate error not surfaced")
+		}
+		// The pre-checkpoint log is intact.
+		if st := l.Stats(); st.Records != 1 {
+			t.Fatalf("records %d after failed checkpoint, want 1", st.Records)
+		}
+	})
+}
+
+func TestWALKindString(t *testing.T) {
+	for k := KindAddPOI; k < kindEnd; k++ {
+		if !k.Valid() || k.String() == "" {
+			t.Fatalf("kind %d invalid or unnamed", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(200).Valid() {
+		t.Fatal("out-of-range kind reported valid")
+	}
+}

@@ -27,6 +27,9 @@ guarded_keys() {
     BENCH_choracle.json) echo "avg_query_cpu_ch_ms ch_p2p_us_per_op" ;;
     BENCH_hublabel.json) echo "avg_query_cpu_hl_ms hl_p2p_us_per_op" ;;
     BENCH_churn.json)    echo "static_p50_ms overlay_p50_ms post_compact_p50_ms" ;;
+    # update_p50_us appears once per fsync policy (off/none/batch/always),
+    # guarded index-wise in file order; recovery_ms guards the replay path.
+    BENCH_wal.json)      echo "update_p50_us recovery_ms" ;;
   esac
 }
 
@@ -34,6 +37,7 @@ echo "bench-guard: fresh smoke run (factor ${FACTOR}x)"
 go run ./cmd/gpssn-bench -exp choracle -scale 0.05 -queries 4 -jsonout "$TMP/BENCH_choracle.json"
 go run ./cmd/gpssn-bench -exp hublabel -scale 0.05 -queries 4 -jsonout "$TMP/BENCH_hublabel.json"
 go run ./cmd/gpssn-bench -exp churn -scale 0.05 -queries 48 -jsonout "$TMP/BENCH_churn.json"
+go run ./cmd/gpssn-bench -exp walchurn -scale 0.05 -jsonout "$TMP/BENCH_wal.json"
 
 # extract FILE KEY -> all values of that key, one per line, in file order.
 # The reports are the pretty-printed output of encoding/json, so every
@@ -43,7 +47,7 @@ extract() {
 }
 
 fail=0
-for report in BENCH_choracle.json BENCH_hublabel.json BENCH_churn.json; do
+for report in BENCH_choracle.json BENCH_hublabel.json BENCH_churn.json BENCH_wal.json; do
   if ! git cat-file -e "HEAD:$report" 2>/dev/null; then
     echo "bench-guard: $report not committed yet, skipping"
     continue

@@ -34,6 +34,12 @@ const (
 	secDataset = "DSET"
 	secCH      = "CHOR"
 	secHL      = "HLBL"
+	// secWAL is the checkpoint marker: the u64 LSN of the newest WAL
+	// record whose effect this snapshot contains. OpenSnapshot replays
+	// only records past it, so a crash landing between the snapshot
+	// rename and the log truncation cannot double-apply (snapshots
+	// written before the WAL existed simply lack the section: LSN 0).
+	secWAL = "WALM"
 )
 
 // SnapshotError is the concrete error behind ErrSnapshotCorrupt: detected
@@ -81,6 +87,23 @@ func roadFingerprint(g *roadnet.Graph) uint64 {
 // crash at any point leaves either the old file or the new one, never a
 // half-written hybrid. Concurrent queries keep running (Snapshot holds
 // the read lock); dynamic updates block until it finishes.
+//
+// Snapshot is also the WAL checkpoint: when the DB has a write-ahead log
+// attached, the snapshot records the applied LSN (secWAL) and, once the
+// rename has made it durable, truncates the log — every logged record is
+// now redundant with the file. A crash between the rename and the
+// truncation is benign: replay skips records at or below the recorded
+// LSN.
+//
+// Pending dynamic updates fold into the snapshot by construction: the
+// dataset section serializes the *current* network — delta POIs, users,
+// friendships, road vertices and edges included — and the oracle sections
+// are written only when the attached oracle is a static CH/HL built for
+// exactly that topology. Under road churn the oracle is the delta-overlay
+// (which is not persistable and whose static core describes a stale
+// graph), so no oracle section is written and reopening rebuilds from the
+// folded dataset; snapshot_fold_test.go gates that a post-churn
+// snapshot→reopen answers bit-identically to the live DB.
 func (db *DB) Snapshot(path string) (err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -91,6 +114,9 @@ func (db *DB) Snapshot(path string) (err error) {
 	if err := db.net.ds.Save(&dsBuf); err != nil {
 		return fmt.Errorf("gpssn: snapshot: %w", err)
 	}
+	// The checkpoint LSN: mutations are blocked for the whole RLock, so
+	// this is exactly the newest update dsBuf contains.
+	applied := db.appliedLSN
 	fp := roadFingerprint(db.net.ds.Road)
 	var chPayload, hlPayload []byte
 	switch o := db.net.ds.Road.Oracle().(type) {
@@ -141,6 +167,11 @@ func (db *DB) Snapshot(path string) (err error) {
 	if err = w.Section(secDataset, dsBuf.Bytes()); err != nil {
 		return fmt.Errorf("gpssn: snapshot: %w", err)
 	}
+	var ew snap.Enc
+	ew.U64(applied)
+	if err = w.Section(secWAL, ew.B); err != nil {
+		return fmt.Errorf("gpssn: snapshot: %w", err)
+	}
 	if chPayload != nil {
 		if err = w.Section(secCH, chPayload); err != nil {
 			return fmt.Errorf("gpssn: snapshot: %w", err)
@@ -170,6 +201,15 @@ func (db *DB) Snapshot(path string) (err error) {
 		return fmt.Errorf("gpssn: snapshot: %w", err)
 	}
 	syncDir(dir)
+	// The snapshot is durable; the log's records up to the checkpoint LSN
+	// are now redundant. A failure here leaves a perfectly good snapshot
+	// and an oversized log — replay skips the duplicated records — so the
+	// error reports a degraded checkpoint, not a failed snapshot.
+	if db.wal != nil {
+		if cerr := db.wal.Checkpoint(applied); cerr != nil {
+			return fmt.Errorf("gpssn: snapshot %s written, but truncating the wal failed: %w", path, cerr)
+		}
+	}
 	return nil
 }
 
@@ -213,8 +253,10 @@ func OpenSnapshot(path string, cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("gpssn: read snapshot: %w", readErr)
 		}
 		// Damage in the header or the dataset section is unrecoverable;
-		// damage confined to oracle sections is repaired below.
-		if ce.Section == "head" || byTag[secDataset] == nil {
+		// damage confined to oracle sections is repaired below. The
+		// checkpoint-LSN section is unrecoverable too: replaying a WAL
+		// from a guessed LSN could double-apply acknowledged updates.
+		if ce.Section == "head" || ce.Section == secWAL || byTag[secDataset] == nil {
 			return nil, &SnapshotError{Path: path, Section: ce.Section, Reason: ce.Reason}
 		}
 		notes = append(notes, fmt.Sprintf("section %q corrupt (%s); rebuilding derived data", ce.Section, ce.Reason))
@@ -267,6 +309,25 @@ func OpenSnapshot(path string, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.health = health
+
+	// The checkpoint LSN this snapshot was cut at (0 for snapshots from
+	// before the WAL existed, or written without one). With a WAL
+	// configured, replay brings the restored state forward from there.
+	var base uint64
+	if wp := byTag[secWAL]; wp != nil {
+		d := &snap.Dec{B: wp}
+		base = d.U64()
+		if d.Err() != nil || !d.Done() {
+			return nil, &SnapshotError{Path: path, Section: secWAL, Reason: "malformed checkpoint LSN"}
+		}
+	}
+	if c.WALPath != "" {
+		if err := db.openWAL(c, base); err != nil {
+			return nil, err
+		}
+	} else {
+		db.appliedLSN = base
+	}
 	db.BuildTime = time.Since(start)
 	return db, nil
 }

@@ -1,0 +1,321 @@
+package gpssn
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpssn/internal/failpoint"
+	"gpssn/internal/roadnet"
+	"gpssn/internal/socialnet"
+)
+
+// The crash matrix: for every kill point and corruption mode in the WAL
+// write path — torn tails at arbitrary byte offsets, injected short
+// writes, bit flips at the tail and mid-log, and crashes inside both
+// checkpoint windows — recovery must reconstruct exactly the acknowledged
+// prefix, gated bit-identical against a never-crashed twin that applied
+// the same prefix, across all three oracle backends at refinement
+// parallelism 1 and 8, including post-recovery churn and Compact.
+
+// walCrashOps builds the deterministic mutation script. Every op logs
+// exactly one WAL record (no-ops and rejections are excluded by
+// construction), so after recovery the applied-op count equals the
+// recovered LSN. Args are precomputed from the base topology, which both
+// the live DB and its twin share.
+func walCrashOps(t *testing.T, base *Network) []func(*DB) error {
+	t.Helper()
+	ds := base.Dataset()
+	n0 := ds.Road.NumVertices()
+	v7 := ds.Road.Vertex(roadnet.VertexID(7))
+	v20 := ds.Road.Vertex(roadnet.VertexID(20))
+	fa, fb := -1, -1
+	for a := 0; a < ds.Social.NumUsers() && fa < 0; a++ {
+		for b := a + 1; b < ds.Social.NumUsers(); b++ {
+			if !ds.Social.AreFriends(socialnet.UserID(a), socialnet.UserID(b)) {
+				fa, fb = a, b
+				break
+			}
+		}
+	}
+	ea, eb := -1, -1
+	for a := 0; a < n0 && ea < 0; a++ {
+		for b := a + 2; b < n0; b += 17 {
+			if !ds.Road.HasEdge(roadnet.VertexID(a), roadnet.VertexID(b)) {
+				ea, eb = a, b
+				break
+			}
+		}
+	}
+	if fa < 0 || ea < 0 {
+		t.Fatal("test network has no free friendship/edge pair")
+	}
+	return []func(*DB) error{
+		func(db *DB) error { _, err := db.AddRoadVertex(v7.X+0.07, v7.Y+0.04); return err },
+		func(db *DB) error { _, err := db.AddRoadEdge(7, n0); return err },
+		func(db *DB) error { _, err := db.AddRoadEdge(n0, 20); return err },
+		func(db *DB) error { _, err := db.AddPOI(v20.X+0.1, v20.Y+0.05, 1, 3); return err },
+		func(db *DB) error {
+			_, err := db.AddUser(v7.X+0.02, v7.Y+0.2, []float64{0.9, 0.1, 0.4, 0, 0.2, 0.5})
+			return err
+		},
+		func(db *DB) error { _, err := db.AddFriendship(fa, fb); return err },
+		func(db *DB) error { _, err := db.AddRoadEdge(ea, eb); return err },
+	}
+}
+
+func applyOps(t *testing.T, db *DB, ops []func(*DB) error) {
+	t.Helper()
+	for i, op := range ops {
+		if err := op(db); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+}
+
+// crashTwin opens a never-crashed control: the same base network with the
+// first k ops applied in memory, no WAL involved.
+func crashTwin(t *testing.T, cfg Config, ops []func(*DB) error, k int) *DB {
+	t.Helper()
+	tcfg := cfg
+	tcfg.WALPath = ""
+	twin, err := Open(churnNetwork(t), tcfg)
+	if err != nil {
+		t.Fatalf("twin Open: %v", err)
+	}
+	applyOps(t, twin, ops[:k])
+	return twin
+}
+
+// gateRecovery opens the surviving log against a fresh base and gates it
+// bit-identical to the twin holding the expected prefix; with churn true
+// it then drives both through one more churn round plus a Compact of the
+// recovered side.
+func gateRecovery(t *testing.T, cfg Config, walPath string, ops []func(*DB) error, wantOps int, label string, churn bool) {
+	t.Helper()
+	rcfg := cfg
+	rcfg.WALPath = walPath
+	rec, err := Open(churnNetwork(t), rcfg)
+	if err != nil {
+		t.Fatalf("%s: recovery Open: %v", label, err)
+	}
+	if got := rec.WALStats().AppliedLSN; got != uint64(wantOps) {
+		t.Fatalf("%s: recovered %d records, want %d", label, got, wantOps)
+	}
+	twin := crashTwin(t, cfg, ops, wantOps)
+	mustMatchDB(t, rec, twin, label)
+	if !churn {
+		return
+	}
+	churnScript(t, rec, 1)
+	churnScript(t, twin, 1)
+	if err := rec.Compact(); err != nil {
+		t.Fatalf("%s: post-recovery Compact: %v", label, err)
+	}
+	mustMatchDB(t, rec, twin, label+"/churn+compact")
+}
+
+// mangleCopy copies a WAL file, truncated to size bytes (and with flip
+// applied when >= 0: that byte index gets one bit flipped).
+func mangleCopy(t *testing.T, src, dst string, size int64, flip int64) {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > int64(len(raw)) {
+		t.Fatalf("mangle size %d beyond file %d", size, len(raw))
+	}
+	raw = raw[:size]
+	if flip >= 0 {
+		raw[flip] ^= 0x20
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALCrashMatrix(t *testing.T) {
+	for _, kind := range []string{"hl", "ch", "dijkstra"} {
+		for _, par := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/P%d", kind, par), func(t *testing.T) {
+				testWALCrashMatrix(t, kind, par)
+			})
+		}
+	}
+}
+
+func testWALCrashMatrix(t *testing.T, kind string, par int) {
+	t.Cleanup(failpoint.Reset)
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.RoadPivots = 3
+	cfg.SocialPivots = 3
+	cfg.Seed = 11
+	cfg.DistanceOracle = kind
+	cfg.Parallelism = par
+	ops := walCrashOps(t, churnNetwork(t))
+
+	// One full run whose log the torn-tail cases mangle, recording the
+	// frame boundary after every op.
+	fullWAL := filepath.Join(dir, "full.wal")
+	fcfg := cfg
+	fcfg.WALPath = fullWAL
+	live, err := Open(churnNetwork(t), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int64{live.WALStats().Bytes} // bounds[k] = bytes after k ops
+	for i, op := range ops {
+		if err := op(live); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		bounds = append(bounds, live.WALStats().Bytes)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(ops)
+
+	// Kill point: crash mid-append. Cuts inside the length prefix, mid
+	// body, one byte short of complete, and exactly at a frame boundary —
+	// recovery keeps the intact prefix and drops the torn frame. The
+	// first case also proves recovery leaves a fully live DB (churn +
+	// Compact stay in lockstep with the twin).
+	tearCases := []struct {
+		name    string
+		cut     int64
+		wantOps int
+	}{
+		{"tear-mid-last-frame", bounds[n-1] + (bounds[n]-bounds[n-1])/2, n - 1},
+		{"tear-almost-complete", bounds[n] - 1, n - 1},
+		{"tear-length-prefix", bounds[2] + 2, 2},
+		{"tear-at-boundary", bounds[3], 3},
+	}
+	for _, tc := range tearCases {
+		p := filepath.Join(dir, tc.name+".wal")
+		mangleCopy(t, fullWAL, p, tc.cut, -1)
+		gateRecovery(t, cfg, p, ops, tc.wantOps, tc.name, tc.name == "tear-mid-last-frame")
+	}
+
+	// Corruption mode: a flipped bit inside the final record. The tail
+	// cannot be distinguished from a torn rewrite, so it is dropped.
+	p := filepath.Join(dir, "flip-tail.wal")
+	mangleCopy(t, fullWAL, p, bounds[n], bounds[n-1]+9)
+	gateRecovery(t, cfg, p, ops, n-1, "flip-tail", false)
+
+	// Corruption mode: a flipped bit before the tail. Acknowledged
+	// records follow the damage, so recovery must refuse, typed.
+	p = filepath.Join(dir, "flip-mid.wal")
+	mangleCopy(t, fullWAL, p, bounds[n], bounds[1]+9)
+	rcfg := cfg
+	rcfg.WALPath = p
+	if _, err := Open(churnNetwork(t), rcfg); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("flip-mid: err=%v, want ErrWALCorrupt", err)
+	}
+
+	// Kill point: the process dies inside the append syscall (injected
+	// short write). The caller got an error, the log is poisoned like a
+	// crashed process's, and recovery recovers the acknowledged prefix.
+	shortWAL := filepath.Join(dir, "short.wal")
+	scfg := cfg
+	scfg.WALPath = shortWAL
+	live2, err := Open(churnNetwork(t), scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	applyOps(t, live2, ops[:k])
+	failpoint.Arm("wal.append", failpoint.Failure{Mode: failpoint.ModeShortWrite, N: 7, Count: 1})
+	if err := ops[k](live2); err == nil {
+		t.Fatal("short-write: op reported success")
+	}
+	if err := ops[k+1](live2); err == nil {
+		t.Fatal("short-write: poisoned log accepted another update")
+	}
+	failpoint.Reset()
+	gateRecovery(t, cfg, shortWAL, ops, k, "short-write", false)
+
+	// Corruption mode: the device flips a bit while acknowledging the
+	// write (injected at the append site). The flipped record is the
+	// tail, so recovery drops it and keeps the acknowledged prefix.
+	flipWAL := filepath.Join(dir, "flip-inject.wal")
+	icfg := cfg
+	icfg.WALPath = flipWAL
+	live3, err := Open(churnNetwork(t), icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, live3, ops[:k])
+	failpoint.Arm("wal.append", failpoint.Failure{Mode: failpoint.ModeBitFlip, N: 13, Count: 1})
+	if err := ops[k](live3); err != nil {
+		t.Fatalf("bit-flip append should not fail in flight: %v", err)
+	}
+	failpoint.Reset()
+	if err := live3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gateRecovery(t, cfg, flipWAL, ops, k, "flip-inject", false)
+
+	// Kill point: crash before the checkpoint rename. The snapshot fails
+	// whole, the log is untouched, recovery replays everything.
+	renameWAL := filepath.Join(dir, "rename.wal")
+	rncfg := cfg
+	rncfg.WALPath = renameWAL
+	live4, err := Open(churnNetwork(t), rncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, live4, ops)
+	failpoint.Arm("snapshot.rename", failpoint.Failure{Mode: failpoint.ModeError, Err: errors.New("injected crash"), Count: 1})
+	if err := live4.Snapshot(filepath.Join(dir, "never.ckpt")); err == nil {
+		t.Fatal("snapshot should fail at the rename kill point")
+	}
+	failpoint.Reset()
+	if err := live4.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gateRecovery(t, cfg, renameWAL, ops, n, "rename-crash", false)
+
+	// Kill point: crash between the checkpoint rename and the log
+	// truncation. The snapshot is durable, the log still holds every
+	// record — recovery from the pair skips the double-apply window, and
+	// recovery from the base alone still replays the full log.
+	truncWAL := filepath.Join(dir, "trunc.wal")
+	ckpt := filepath.Join(dir, "trunc.ckpt")
+	tccfg := cfg
+	tccfg.WALPath = truncWAL
+	live5, err := Open(churnNetwork(t), tccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, live5, ops[:k])
+	failpoint.Arm("wal.truncate", failpoint.Failure{Mode: failpoint.ModeError, Err: errors.New("injected crash"), Count: 1})
+	if err := live5.Snapshot(ckpt); err == nil {
+		t.Fatal("snapshot should report the failed truncation")
+	}
+	failpoint.Reset()
+	if st := live5.WALStats(); st.Pending != int64(k) {
+		t.Fatalf("failed truncation must leave the log intact: %+v", st)
+	}
+	applyOps(t, live5, ops[k:])
+	if err := live5.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Base + full log.
+	gateRecovery(t, cfg, truncWAL, ops, n, "trunc-crash-base", false)
+	// Checkpoint + full log: records <= the checkpoint LSN are skipped.
+	pcfg := cfg
+	pcfg.WALPath = truncWAL
+	rec, err := OpenSnapshot(ckpt, pcfg)
+	if err != nil {
+		t.Fatalf("trunc-crash-pair: OpenSnapshot: %v", err)
+	}
+	if got := rec.WALStats().AppliedLSN; got != uint64(n) {
+		t.Fatalf("trunc-crash-pair: applied LSN %d, want %d", got, n)
+	}
+	twin := crashTwin(t, cfg, ops, n)
+	mustMatchDB(t, rec, twin, "trunc-crash-pair")
+}
